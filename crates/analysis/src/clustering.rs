@@ -1,0 +1,129 @@
+//! Packet-clustering metrics (§3.1, §4.1, §5).
+//!
+//! In the paper's configurations, "all of the packets from a single
+//! connection are clustered together; the entire window's worth of packets
+//! passes through the switch consecutively, uninterrupted by packets from
+//! another connection." Clustering is the precondition for
+//! ACK-compression, and it degrades (to *partial* clustering) with many
+//! connections per direction or with delayed ACKs.
+//!
+//! We quantify it from the departure sequence at a bottleneck channel:
+//!
+//! * [`clustering_coefficient`] — probability that the next departure
+//!   belongs to the same connection as the current one. With `k`
+//!   connections of window `w` fully clustered this is `≈ (w−1)/w`; with
+//!   fully interleaved traffic it approaches `1/k`.
+//! * [`cluster_lengths`] — the run lengths themselves, whose mean tracks
+//!   the window sizes when clustering is complete (the paper uses cluster
+//!   size to explain the narrow plateaus of Figure 3 versus Figure 4).
+
+use crate::extract::Departure;
+use td_net::ConnId;
+
+/// Probability that consecutive departures belong to the same connection.
+/// `None` with fewer than two departures.
+pub fn clustering_coefficient(departures: &[Departure]) -> Option<f64> {
+    if departures.len() < 2 {
+        return None;
+    }
+    let same = departures
+        .windows(2)
+        .filter(|w| w[0].pkt.conn == w[1].pkt.conn)
+        .count();
+    Some(same as f64 / (departures.len() - 1) as f64)
+}
+
+/// Maximal runs of same-connection departures, as `(conn, length)` in
+/// order of occurrence.
+pub fn cluster_lengths(departures: &[Departure]) -> Vec<(ConnId, u64)> {
+    let mut runs: Vec<(ConnId, u64)> = Vec::new();
+    for d in departures {
+        match runs.last_mut() {
+            Some((c, n)) if *c == d.pkt.conn => *n += 1,
+            _ => runs.push((d.pkt.conn, 1)),
+        }
+    }
+    runs
+}
+
+/// Mean cluster length. `None` for an empty departure sequence.
+pub fn mean_cluster_length(departures: &[Departure]) -> Option<f64> {
+    let runs = cluster_lengths(departures);
+    if runs.is_empty() {
+        return None;
+    }
+    let total: u64 = runs.iter().map(|(_, n)| n).sum();
+    Some(total as f64 / runs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_engine::SimTime;
+    use td_net::{NodeId, Packet, PacketId, PacketKind};
+
+    fn dep(i: u64, conn: u32) -> Departure {
+        Departure {
+            t: SimTime::from_millis(i * 80),
+            pkt: Packet {
+                id: PacketId(i),
+                conn: ConnId(conn),
+                kind: PacketKind::Data,
+                seq: i,
+                size: 500,
+                src: NodeId(0),
+                dst: NodeId(1),
+                sent_at: SimTime::ZERO,
+                retx: false,
+                ce: false,
+                ack: 0,
+            },
+        }
+    }
+
+    fn seq(conns: &[u32]) -> Vec<Departure> {
+        conns
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| dep(i as u64, c))
+            .collect()
+    }
+
+    #[test]
+    fn fully_clustered() {
+        let d = seq(&[1, 1, 1, 1, 2, 2, 2, 2]);
+        // 7 adjacent pairs, 6 same-conn.
+        assert_eq!(clustering_coefficient(&d), Some(6.0 / 7.0));
+        assert_eq!(cluster_lengths(&d), vec![(ConnId(1), 4), (ConnId(2), 4)]);
+        assert_eq!(mean_cluster_length(&d), Some(4.0));
+    }
+
+    #[test]
+    fn fully_interleaved() {
+        let d = seq(&[1, 2, 1, 2, 1, 2]);
+        assert_eq!(clustering_coefficient(&d), Some(0.0));
+        assert_eq!(mean_cluster_length(&d), Some(1.0));
+    }
+
+    #[test]
+    fn partial_clustering() {
+        let d = seq(&[1, 1, 2, 2, 1, 2]);
+        assert_eq!(clustering_coefficient(&d), Some(2.0 / 5.0));
+        assert_eq!(cluster_lengths(&d).len(), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(clustering_coefficient(&[]), None);
+        assert_eq!(clustering_coefficient(&seq(&[1])), None);
+        assert_eq!(mean_cluster_length(&[]), None);
+        assert!(cluster_lengths(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_connection_is_one_big_cluster() {
+        let d = seq(&[7; 20]);
+        assert_eq!(clustering_coefficient(&d), Some(1.0));
+        assert_eq!(cluster_lengths(&d), vec![(ConnId(7), 20)]);
+    }
+}

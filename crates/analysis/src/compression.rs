@@ -1,0 +1,155 @@
+//! ACK-compression metrics (§4.2).
+//!
+//! With one-way traffic, ACKs arrive at the source spaced by at least one
+//! data-packet service time on the bottleneck — they are a reliable clock.
+//! With two-way traffic, a *cluster* of ACKs crossing a nonempty queue
+//! leaves it spaced by the **ACK** service time instead (10× smaller in the
+//! paper), and the burst of data sent in response slams the queue: the
+//! square waves of Figures 4/6/8/9.
+//!
+//! Two measurements quantify this:
+//!
+//! * [`ack_spacing`] — the distribution of ACK inter-arrival times at the
+//!   data source. The *compressed fraction* is the share of gaps strictly
+//!   smaller than the bottleneck data service time; ≈ 0 for one-way
+//!   traffic, large for clustered two-way traffic.
+//! * [`queue_fluctuation`] — the largest queue-length fall within one data
+//!   service time (via [`TimeSeries::max_drop_within`]): ≤ 1 packet for
+//!   smooth one-way queues, the ACK-cluster size for square waves.
+
+use crate::extract::Departure;
+use crate::series::TimeSeries;
+use crate::stats::{median, quantile};
+use td_engine::{SimDuration, SimTime};
+
+/// Summary of ACK inter-arrival gaps at a source.
+#[derive(Clone, Copy, Debug)]
+pub struct AckSpacing {
+    /// Number of gaps measured.
+    pub gaps: usize,
+    /// Fraction of gaps smaller than the reference (data service) time.
+    pub compressed_fraction: f64,
+    /// Median gap, seconds.
+    pub median_gap_s: f64,
+    /// 10th-percentile gap, seconds — deep compression shows up here.
+    pub p10_gap_s: f64,
+}
+
+/// Measure ACK spacing from the delivery instants of ACKs at the source
+/// host (`deliveries(..., acks_only = true)`), against a reference spacing
+/// `data_service` (80 ms in the paper). `None` with fewer than two ACKs.
+pub fn ack_spacing(acks: &[Departure], data_service: SimDuration) -> Option<AckSpacing> {
+    if acks.len() < 2 {
+        return None;
+    }
+    let gaps: Vec<f64> = acks
+        .windows(2)
+        .map(|w| w[1].t.since(w[0].t).as_secs_f64())
+        .collect();
+    let reference = data_service.as_secs_f64();
+    let compressed = gaps.iter().filter(|&&g| g < reference).count();
+    Some(AckSpacing {
+        gaps: gaps.len(),
+        compressed_fraction: compressed as f64 / gaps.len() as f64,
+        median_gap_s: median(&gaps).expect("nonempty"),
+        p10_gap_s: quantile(&gaps, 0.10).expect("nonempty"),
+    })
+}
+
+/// Largest queue-length fall within one `data_service` interval over
+/// `[t0, t1]` — the paper's "rapid fluctuations in the queue length ...
+/// on a time scale smaller than that of a single data packet transmission
+/// time".
+pub fn queue_fluctuation(
+    queue: &TimeSeries,
+    t0: SimTime,
+    t1: SimTime,
+    data_service: SimDuration,
+) -> f64 {
+    queue.max_drop_within(t0, t1, data_service)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_net::{ConnId, NodeId, Packet, PacketId, PacketKind};
+
+    fn ack_at(ms: u64) -> Departure {
+        Departure {
+            t: SimTime::from_millis(ms),
+            pkt: Packet {
+                id: PacketId(ms),
+                conn: ConnId(1),
+                kind: PacketKind::Ack,
+                seq: ms,
+                size: 50,
+                src: NodeId(1),
+                dst: NodeId(0),
+                sent_at: SimTime::ZERO,
+                retx: false,
+                ce: false,
+                ack: 0,
+            },
+        }
+    }
+
+    const SVC: SimDuration = SimDuration::from_millis(80);
+
+    #[test]
+    fn one_way_spacing_is_uncompressed() {
+        // ACKs every 80 ms: no gap is *below* the service time.
+        let acks: Vec<_> = (0..50).map(|i| ack_at(i * 80)).collect();
+        let s = ack_spacing(&acks, SVC).unwrap();
+        assert_eq!(s.compressed_fraction, 0.0);
+        assert_eq!(s.median_gap_s, 0.080);
+        assert_eq!(s.gaps, 49);
+    }
+
+    #[test]
+    fn compressed_cluster_is_detected() {
+        // A cluster of ACKs 8 ms apart (the ACK service time), then a long
+        // idle gap, repeated.
+        let mut acks = Vec::new();
+        let mut t = 0;
+        for _ in 0..10 {
+            for _ in 0..10 {
+                acks.push(ack_at(t));
+                t += 8;
+            }
+            t += 1000;
+        }
+        let s = ack_spacing(&acks, SVC).unwrap();
+        assert!(s.compressed_fraction > 0.85, "{}", s.compressed_fraction);
+        assert_eq!(s.p10_gap_s, 0.008);
+    }
+
+    #[test]
+    fn too_few_acks() {
+        assert!(ack_spacing(&[], SVC).is_none());
+        assert!(ack_spacing(&[ack_at(0)], SVC).is_none());
+    }
+
+    #[test]
+    fn fluctuation_of_smooth_queue_is_small() {
+        // Queue alternating q ↔ q+1 every 40 ms (the one-way pattern).
+        let mut ts = TimeSeries::new();
+        for i in 0..100u64 {
+            ts.push(SimTime::from_millis(i * 40), 5.0 + (i % 2) as f64);
+        }
+        let f = queue_fluctuation(&ts, SimTime::ZERO, SimTime::from_secs(4), SVC);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn fluctuation_of_square_wave_is_cluster_sized() {
+        // Queue jumps 20 → 5 instantly (ACK cluster passing), then rebuilds.
+        let mut ts = TimeSeries::new();
+        for i in 0..10u64 {
+            let base = SimTime::from_secs(i * 2);
+            ts.push(base, 20.0);
+            ts.push(base + SimDuration::from_millis(10), 5.0);
+        }
+        let f = queue_fluctuation(&ts, SimTime::ZERO, SimTime::from_secs(30), SVC);
+        assert_eq!(f, 15.0);
+    }
+}

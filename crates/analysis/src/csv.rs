@@ -1,0 +1,104 @@
+//! Minimal CSV export.
+//!
+//! The repro binary writes every figure's underlying data as CSV so the
+//! traces can be re-plotted with external tools. Values are numeric or
+//! simple identifiers — no quoting/escaping machinery is needed, and we
+//! reject fields that would require it rather than emit a corrupt file.
+
+use crate::series::TimeSeries;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Render rows as CSV text.
+///
+/// # Panics
+/// Panics if any field contains a comma, quote, or newline (our exports
+/// never do; a corrupt file would be worse than a loud failure).
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let check = |f: &str| {
+        assert!(
+            !f.contains([',', '"', '\n']),
+            "CSV field needs quoting: {f:?}"
+        );
+    };
+    for h in header {
+        check(h);
+    }
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width != header width");
+        for f in row {
+            check(f);
+        }
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// A `(time_s, value)` CSV of a series' change points.
+pub fn series_csv(name: &str, ts: &TimeSeries) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "time_s,{name}");
+    for &(t, v) in ts.points() {
+        let _ = writeln!(out, "{},{v}", t.as_secs_f64());
+    }
+    out
+}
+
+/// Write CSV text to a file, creating parent directories.
+pub fn write_file(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_engine::SimTime;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs quoting")]
+    fn rejects_fields_needing_quoting() {
+        let _ = to_csv(&["a"], &[vec!["x,y".into()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let _ = to_csv(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn series_export() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(500), 3.0);
+        ts.push(SimTime::from_secs(2), 4.5);
+        let csv = series_csv("qlen", &ts);
+        assert_eq!(csv, "time_s,qlen\n0.5,3\n2,4.5\n");
+    }
+
+    #[test]
+    fn write_creates_directories() {
+        let dir = std::env::temp_dir().join("td-analysis-csv-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/out.csv");
+        write_file(&path, "a\n1\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

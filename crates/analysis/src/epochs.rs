@@ -1,0 +1,241 @@
+//! Congestion-epoch detection and loss attribution.
+//!
+//! The paper defines an *epoch* as the period over which a full window of
+//! packets is acknowledged, and a *congestion epoch* as one containing
+//! packet losses (§2.1). Its *acceleration analysis* predicts the number of
+//! drops per congestion epoch: each connection loses as many packets as its
+//! window grew during the epoch (the acceleration), so the total equals the
+//! number of connections during congestion avoidance.
+//!
+//! Operationally we detect congestion epochs from the drop record: losses
+//! separated by less than a gap threshold belong to the same epoch.
+//! The threshold should be a few round-trip times — large enough to merge
+//! the burst of drops at one buffer-overflow event, small enough to keep
+//! successive window cycles (tens of seconds apart) distinct.
+
+use std::collections::BTreeMap;
+use td_engine::{SimDuration, SimTime};
+use td_net::{ChannelId, ConnId, DropReason};
+
+/// One packet discarded at a queue.
+#[derive(Clone, Copy, Debug)]
+pub struct DropEvent {
+    /// When.
+    pub t: SimTime,
+    /// At which channel.
+    pub ch: ChannelId,
+    /// Whose packet.
+    pub conn: ConnId,
+    /// Its sequence number.
+    pub seq: u64,
+    /// Data (true) or ACK (false).
+    pub is_data: bool,
+    /// Buffer overflow or injected fault.
+    pub reason: DropReason,
+}
+
+/// A congestion epoch: a burst of losses and its attribution.
+#[derive(Clone, Debug)]
+pub struct Epoch {
+    /// First loss of the epoch.
+    pub t_start: SimTime,
+    /// Last loss of the epoch.
+    pub t_end: SimTime,
+    /// Every loss in the epoch, in time order.
+    pub drops: Vec<DropEvent>,
+    /// Data-packet losses per connection.
+    pub losses_by_conn: BTreeMap<ConnId, u64>,
+}
+
+impl Epoch {
+    /// Total drops in this epoch.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.len() as u64
+    }
+
+    /// Connections that lost at least one data packet.
+    pub fn losers(&self) -> Vec<ConnId> {
+        self.losses_by_conn
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+}
+
+/// Group drops into congestion epochs: a new epoch starts whenever a drop
+/// follows the previous one by more than `gap`.
+pub fn detect_epochs(drops: &[DropEvent], gap: SimDuration) -> Vec<Epoch> {
+    let mut epochs: Vec<Epoch> = Vec::new();
+    for &d in drops {
+        let start_new = match epochs.last() {
+            None => true,
+            Some(e) => d.t.saturating_since(e.t_end) > gap,
+        };
+        if start_new {
+            epochs.push(Epoch {
+                t_start: d.t,
+                t_end: d.t,
+                drops: Vec::new(),
+                losses_by_conn: BTreeMap::new(),
+            });
+        }
+        let e = epochs.last_mut().expect("just ensured non-empty");
+        e.t_end = d.t;
+        if d.is_data {
+            *e.losses_by_conn.entry(d.conn).or_insert(0) += 1;
+        }
+        e.drops.push(d);
+    }
+    epochs
+}
+
+/// Check the paper's loss-synchronization property over a set of epochs:
+/// the fraction of epochs in which **every** listed connection lost at
+/// least one packet (Figure 2's behaviour is fraction ≈ 1).
+pub fn loss_synchronization(epochs: &[Epoch], conns: &[ConnId]) -> f64 {
+    if epochs.is_empty() {
+        return 0.0;
+    }
+    let synced = epochs
+        .iter()
+        .filter(|e| {
+            conns
+                .iter()
+                .all(|c| e.losses_by_conn.get(c).copied().unwrap_or(0) > 0)
+        })
+        .count();
+    synced as f64 / epochs.len() as f64
+}
+
+/// The paper's out-of-phase drop pattern (§4.3.1): in each congestion epoch
+/// exactly one of the two connections loses (both packets), and the loser
+/// alternates between epochs. Returns the fraction of adjacent epoch pairs
+/// that alternate single-loser identity.
+pub fn alternating_single_loser(epochs: &[Epoch]) -> f64 {
+    let single_losers: Vec<Option<ConnId>> = epochs
+        .iter()
+        .map(|e| {
+            let l = e.losers();
+            if l.len() == 1 {
+                Some(l[0])
+            } else {
+                None
+            }
+        })
+        .collect();
+    let pairs: Vec<_> = single_losers.windows(2).collect();
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let alternating = pairs
+        .iter()
+        .filter(|w| match (w[0], w[1]) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        })
+        .count();
+    alternating as f64 / pairs.len() as f64
+}
+
+/// Mean data drops per epoch — compared against the total acceleration
+/// (= number of connections in congestion avoidance) by the acceleration
+/// analysis.
+pub fn mean_drops_per_epoch(epochs: &[Epoch]) -> f64 {
+    if epochs.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = epochs
+        .iter()
+        .map(|e| e.losses_by_conn.values().sum::<u64>())
+        .sum();
+    total as f64 / epochs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop(secs_milli: u64, conn: u32) -> DropEvent {
+        DropEvent {
+            t: SimTime::from_millis(secs_milli),
+            ch: ChannelId(0),
+            conn: ConnId(conn),
+            seq: 0,
+            is_data: true,
+            reason: DropReason::BufferFull,
+        }
+    }
+
+    #[test]
+    fn groups_by_gap() {
+        let drops = vec![drop(0, 1), drop(100, 2), drop(10_000, 1), drop(10_050, 2)];
+        let epochs = detect_epochs(&drops, SimDuration::from_secs(5));
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[0].total_drops(), 2);
+        assert_eq!(epochs[1].total_drops(), 2);
+        assert_eq!(epochs[0].t_start, SimTime::ZERO);
+        assert_eq!(epochs[0].t_end, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(detect_epochs(&[], SimDuration::from_secs(1)).is_empty());
+        assert_eq!(loss_synchronization(&[], &[ConnId(1)]), 0.0);
+        assert_eq!(mean_drops_per_epoch(&[]), 0.0);
+    }
+
+    #[test]
+    fn attribution_counts_per_conn() {
+        let drops = vec![drop(0, 1), drop(1, 1), drop(2, 2)];
+        let epochs = detect_epochs(&drops, SimDuration::from_secs(1));
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].losses_by_conn[&ConnId(1)], 2);
+        assert_eq!(epochs[0].losses_by_conn[&ConnId(2)], 1);
+        assert_eq!(epochs[0].losers(), vec![ConnId(1), ConnId(2)]);
+    }
+
+    #[test]
+    fn ack_drops_do_not_attribute() {
+        let mut d = drop(0, 1);
+        d.is_data = false;
+        let epochs = detect_epochs(&[d], SimDuration::from_secs(1));
+        assert_eq!(epochs.len(), 1);
+        assert!(epochs[0].losses_by_conn.is_empty());
+        assert_eq!(epochs[0].total_drops(), 1, "still recorded as a drop");
+    }
+
+    #[test]
+    fn loss_sync_fraction() {
+        // Epoch 1: both lose; epoch 2: only conn 1.
+        let drops = vec![drop(0, 1), drop(1, 2), drop(20_000, 1)];
+        let epochs = detect_epochs(&drops, SimDuration::from_secs(5));
+        assert_eq!(epochs.len(), 2);
+        let f = loss_synchronization(&epochs, &[ConnId(1), ConnId(2)]);
+        assert_eq!(f, 0.5);
+    }
+
+    #[test]
+    fn alternation_detection() {
+        // loser sequence: 1, 2, 1, 2 → all 3 adjacent pairs alternate.
+        let drops = vec![
+            drop(0, 1),
+            drop(10_000, 2),
+            drop(20_000, 1),
+            drop(30_000, 2),
+        ];
+        let epochs = detect_epochs(&drops, SimDuration::from_secs(5));
+        assert_eq!(alternating_single_loser(&epochs), 1.0);
+        // loser sequence 1, 1 → no alternation.
+        let drops2 = vec![drop(0, 1), drop(10_000, 1)];
+        let epochs2 = detect_epochs(&drops2, SimDuration::from_secs(5));
+        assert_eq!(alternating_single_loser(&epochs2), 0.0);
+    }
+
+    #[test]
+    fn mean_drops() {
+        let drops = vec![drop(0, 1), drop(1, 2), drop(20_000, 1)];
+        let epochs = detect_epochs(&drops, SimDuration::from_secs(5));
+        assert_eq!(mean_drops_per_epoch(&epochs), 1.5);
+    }
+}

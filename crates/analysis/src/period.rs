@@ -1,0 +1,175 @@
+//! Oscillation-period estimation and fairness.
+//!
+//! The paper reads its ~34 s window cycle off the plots; we estimate it
+//! from data. [`dominant_period`] finds the first significant peak of the
+//! autocorrelation of a resampled, mean-removed series — robust to the
+//! ACK-compression square waves riding on the cycle. [`jain_fairness`] is
+//! the standard throughput-fairness index used to quantify the "extreme
+//! unfairness" reported by the OSI-testbed study the paper discusses in
+//! §5.
+
+use crate::series::TimeSeries;
+use td_engine::SimTime;
+
+/// Autocorrelation of a mean-removed sample at integer lags `0..max_lag`.
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = xs.iter().map(|x| x - mean).collect();
+    let denom: f64 = centered.iter().map(|x| x * x).sum();
+    if denom == 0.0 {
+        return vec![1.0; max_lag.min(n)];
+    }
+    (0..max_lag.min(n))
+        .map(|lag| {
+            let num: f64 = centered[..n - lag]
+                .iter()
+                .zip(&centered[lag..])
+                .map(|(a, b)| a * b)
+                .sum();
+            num / denom
+        })
+        .collect()
+}
+
+/// Estimate the dominant oscillation period of a series over `[t0, t1]`.
+///
+/// The series is resampled onto `samples` points; the period is the lag of
+/// the highest autocorrelation peak that (a) follows the first
+/// zero-crossing (skipping the trivial lag-0 peak) and (b) exceeds
+/// `min_corr`. Returns the period in seconds, or `None` if no credible
+/// peak exists (aperiodic or constant series).
+pub fn dominant_period(
+    ts: &TimeSeries,
+    t0: SimTime,
+    t1: SimTime,
+    samples: usize,
+    min_corr: f64,
+) -> Option<f64> {
+    if t1 <= t0 {
+        return None;
+    }
+    let xs = ts.resample(t0, t1, samples);
+    if xs.len() < 8 {
+        return None;
+    }
+    let ac = autocorrelation(&xs, xs.len() / 2);
+    // Skip to the first zero crossing.
+    let start = ac.iter().position(|&r| r <= 0.0)?;
+    let (best_lag, best_r) = ac
+        .iter()
+        .enumerate()
+        .skip(start)
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))?;
+    if *best_r < min_corr {
+        return None;
+    }
+    let dt = t1.since(t0).as_secs_f64() / (samples as f64 - 1.0);
+    Some(best_lag as f64 * dt)
+}
+
+/// Jain's fairness index of a set of throughputs:
+/// `(Σx)² / (n · Σx²)` — 1.0 for perfect fairness, `1/n` for a single
+/// hog. `None` for an empty or all-zero set.
+pub fn jain_fairness(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (xs.len() as f64 * sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_engine::SimDuration;
+
+    fn sine_series(period_s: f64, dur_s: u64) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        let step = SimDuration::from_millis(250);
+        let n = dur_s * 4;
+        for i in 0..n {
+            let t = SimTime::ZERO + step * i;
+            let v = (t.as_secs_f64() * std::f64::consts::TAU / period_s).sin();
+            ts.push(t, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_one() {
+        let ac = autocorrelation(&[5.0; 32], 8);
+        assert!(ac.iter().all(|&r| r == 1.0));
+    }
+
+    #[test]
+    fn autocorrelation_lag0_is_one() {
+        let xs: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let ac = autocorrelation(&xs, 10);
+        assert!((ac[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_sine_period() {
+        let ts = sine_series(34.0, 400);
+        let p = dominant_period(&ts, SimTime::ZERO, SimTime::from_secs(400), 1600, 0.3)
+            .expect("periodic signal");
+        assert!((p - 34.0).abs() < 2.0, "estimated period {p}");
+    }
+
+    #[test]
+    fn recovers_sawtooth_period() {
+        // The cwnd shape: linear ramp with instant resets.
+        let mut ts = TimeSeries::new();
+        for i in 0..2000u64 {
+            let t = SimTime::ZERO + SimDuration::from_millis(250) * i;
+            let v = (t.as_secs_f64() % 20.0) / 20.0;
+            ts.push(t, v);
+        }
+        let p = dominant_period(&ts, SimTime::ZERO, SimTime::from_secs(500), 2000, 0.3)
+            .expect("periodic");
+        assert!((p - 20.0).abs() < 1.5, "estimated period {p}");
+    }
+
+    #[test]
+    fn aperiodic_yields_none() {
+        // Monotone ramp: autocorrelation has no post-crossing peak above
+        // threshold... it decays monotonically; require None or a weak peak.
+        let mut ts = TimeSeries::new();
+        for i in 0..400u64 {
+            ts.push(SimTime::from_secs(i), i as f64);
+        }
+        let p = dominant_period(&ts, SimTime::ZERO, SimTime::from_secs(399), 400, 0.5);
+        assert!(p.is_none(), "ramp should not report a period, got {p:?}");
+    }
+
+    #[test]
+    fn constant_yields_none() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::ZERO, 3.0);
+        let p = dominant_period(&ts, SimTime::ZERO, SimTime::from_secs(100), 100, 0.3);
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn fairness_extremes() {
+        assert_eq!(jain_fairness(&[10.0, 10.0, 10.0]), Some(1.0));
+        let hog = jain_fairness(&[30.0, 0.0, 0.0]).unwrap();
+        assert!((hog - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), None);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn fairness_intermediate() {
+        let f = jain_fairness(&[2.0, 1.0]).unwrap();
+        assert!((f - 0.9).abs() < 1e-12, "(3)^2/(2*5) = 0.9, got {f}");
+    }
+}

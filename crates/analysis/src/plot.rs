@@ -1,0 +1,240 @@
+//! ASCII rendering of the paper's figures.
+//!
+//! Every figure in the paper is a time trace (queue length or cwnd) with
+//! optional event marks above it (packet drops). [`Plot`] renders the same
+//! thing into a monospace grid for terminals, test logs, and
+//! EXPERIMENTS.md — no plotting stack required.
+//!
+//! ```text
+//! queue at switch 1 (pkts)                         * = drop
+//!        *            *            *
+//! 20.0 |      ##           ##            ##
+//!      |    ####         ####          ####
+//!      |  ######       ######        ######
+//!  0.0 |########______########______########
+//!      +----------------------------------------
+//!      540.0s                              570.0s
+//! ```
+
+use crate::series::TimeSeries;
+use td_engine::SimTime;
+
+/// A fixed-size ASCII plot of step-function series over a time window.
+pub struct Plot {
+    width: usize,
+    height: usize,
+    t0: SimTime,
+    t1: SimTime,
+    title: String,
+    y_max: Option<f64>,
+    series: Vec<(char, Vec<f64>)>,
+    marks: Vec<(SimTime, char)>,
+}
+
+impl Plot {
+    /// A plot of the window `[t0, t1]`, `width` columns by `height` rows
+    /// of data area.
+    pub fn new(title: &str, t0: SimTime, t1: SimTime, width: usize, height: usize) -> Self {
+        assert!(t1 > t0, "empty plot window");
+        assert!(width >= 10 && height >= 2, "plot too small to read");
+        Plot {
+            width,
+            height,
+            t0,
+            t1,
+            title: title.to_owned(),
+            y_max: None,
+            series: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+
+    /// Fix the y-axis maximum (default: autoscale to the data).
+    pub fn y_max(mut self, y: f64) -> Self {
+        self.y_max = Some(y);
+        self
+    }
+
+    /// Add a series drawn with `glyph`.
+    pub fn series(mut self, ts: &TimeSeries, glyph: char) -> Self {
+        self.series
+            .push((glyph, ts.resample(self.t0, self.t1, self.width)));
+        self
+    }
+
+    /// Add instantaneous event marks (rendered on a line above the data
+    /// area, like the paper's drop symbols).
+    pub fn marks(mut self, times: &[SimTime], glyph: char) -> Self {
+        for &t in times {
+            if t >= self.t0 && t <= self.t1 {
+                self.marks.push((t, glyph));
+            }
+        }
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let y_hi = self.y_max.unwrap_or_else(|| {
+            self.series
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .fold(1.0_f64, f64::max)
+        });
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (glyph, vals) in &self.series {
+            for (x, &v) in vals.iter().enumerate() {
+                // Fill from the bottom up to the value (bar style reads
+                // better in ASCII than a lone dot).
+                let level = ((v / y_hi) * self.height as f64).round() as usize;
+                let level = level.min(self.height);
+                for y in 0..level {
+                    let row = self.height - 1 - y;
+                    let cell = &mut grid[row][x];
+                    if *cell == ' ' {
+                        *cell = *glyph;
+                    }
+                }
+            }
+        }
+        // Mark line.
+        let mut mark_row = vec![' '; self.width];
+        let span = self.t1.since(self.t0).as_nanos();
+        for &(t, glyph) in &self.marks {
+            let frac = t.since(self.t0).as_nanos() as f64 / span as f64;
+            let x = ((self.width - 1) as f64 * frac).round() as usize;
+            mark_row[x] = glyph;
+        }
+
+        let label_w = 8;
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&" ".repeat(label_w + 1));
+        out.push_str(&mark_row.iter().collect::<String>());
+        out.push('\n');
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_hi:>label_w$.1}")
+            } else if i == self.height - 1 {
+                format!("{:>label_w$.1}", 0.0)
+            } else {
+                " ".repeat(label_w)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(label_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let t0s = format!("{:.1}s", self.t0.as_secs_f64());
+        let t1s = format!("{:.1}s", self.t1.as_secs_f64());
+        let pad = (self.width + 1).saturating_sub(t0s.len() + t1s.len());
+        out.push_str(&" ".repeat(label_w));
+        out.push_str(&t0s);
+        out.push_str(&" ".repeat(pad));
+        out.push_str(&t1s);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for i in 0..=10u64 {
+            ts.push(SimTime::from_secs(i), i as f64);
+        }
+        ts
+    }
+
+    #[test]
+    fn renders_with_axes_and_title() {
+        let p =
+            Plot::new("queue", SimTime::ZERO, SimTime::from_secs(10), 40, 8).series(&ramp(), '#');
+        let s = p.render();
+        assert!(s.starts_with("queue\n"));
+        assert!(s.contains("10.0"), "y max label");
+        assert!(s.contains("0.0s"), "x start label");
+        assert!(s.contains("10.0s"), "x end label");
+        assert!(s.contains('#'));
+        // All data rows equal width.
+        let lines: Vec<&str> = s.lines().collect();
+        let data_lines: Vec<&str> = lines.iter().filter(|l| l.contains('|')).copied().collect();
+        assert_eq!(data_lines.len(), 8);
+    }
+
+    #[test]
+    fn ramp_fills_bottom_right_corner_not_top_left() {
+        let p = Plot::new("r", SimTime::ZERO, SimTime::from_secs(10), 40, 8).series(&ramp(), '#');
+        let s = p.render();
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        let top = rows.first().unwrap();
+        let bottom = rows.last().unwrap();
+        let top_hashes = top.matches('#').count();
+        let bottom_hashes = bottom.matches('#').count();
+        assert!(
+            bottom_hashes > top_hashes,
+            "{bottom_hashes} vs {top_hashes}"
+        );
+        // Top row: only the right edge reaches max.
+        assert!(top.trim_end().ends_with('#'));
+        assert!(!top.contains("|#"), "left edge must be empty at top");
+    }
+
+    #[test]
+    fn marks_appear_above_plot() {
+        let p = Plot::new("m", SimTime::ZERO, SimTime::from_secs(10), 40, 4)
+            .series(&ramp(), '#')
+            .marks(&[SimTime::from_secs(5)], '*');
+        let s = p.render();
+        let mark_line = s.lines().nth(1).unwrap();
+        assert_eq!(mark_line.matches('*').count(), 1);
+    }
+
+    #[test]
+    fn marks_outside_window_are_dropped() {
+        let p = Plot::new("m", SimTime::from_secs(5), SimTime::from_secs(10), 40, 4)
+            .series(&ramp(), '#')
+            .marks(&[SimTime::from_secs(1), SimTime::from_secs(20)], '*');
+        let s = p.render();
+        assert_eq!(s.lines().nth(1).unwrap().matches('*').count(), 0);
+    }
+
+    #[test]
+    fn fixed_y_max_rescales() {
+        let p = Plot::new("m", SimTime::ZERO, SimTime::from_secs(10), 40, 4)
+            .series(&ramp(), '#')
+            .y_max(100.0);
+        let s = p.render();
+        assert!(s.contains("100.0"));
+        // Values ≤ 10 against a 100 ceiling: top three rows empty.
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(rows[0].matches('#').count(), 0);
+        assert_eq!(rows[1].matches('#').count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty plot window")]
+    fn rejects_empty_window() {
+        let _ = Plot::new("x", SimTime::from_secs(1), SimTime::from_secs(1), 40, 4);
+    }
+
+    #[test]
+    fn two_series_share_canvas() {
+        let mut flat = TimeSeries::new();
+        flat.push(SimTime::ZERO, 5.0);
+        let p = Plot::new("2", SimTime::ZERO, SimTime::from_secs(10), 40, 8)
+            .series(&ramp(), '#')
+            .series(&flat, '.');
+        let s = p.render();
+        assert!(s.contains('#'));
+        assert!(s.contains('.'));
+    }
+}

@@ -1,0 +1,295 @@
+//! Step-function time series.
+//!
+//! Queue lengths and congestion windows are piecewise-constant: they change
+//! at event instants and hold their value in between. [`TimeSeries`] stores
+//! the change points `(t, v)` and answers windowed questions — value at a
+//! time, min/max over a window, *time-weighted* mean (the correct average
+//! for a step function), and resampling onto a regular grid for correlation
+//! analysis and plotting.
+
+use td_engine::SimTime;
+
+/// A piecewise-constant series of `(time, value)` change points, in
+/// nondecreasing time order.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from pre-sorted points.
+    ///
+    /// # Panics
+    /// Panics if the times are not nondecreasing.
+    pub fn from_points(points: Vec<(SimTime, f64)>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "TimeSeries points must be time-ordered"
+        );
+        TimeSeries { points }
+    }
+
+    /// Append a change point.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last point.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "TimeSeries points must be time-ordered");
+        }
+        self.points.push((t, v));
+    }
+
+    /// The change points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Value in effect at time `t`: the value of the last change point at
+    /// or before `t`. `None` before the first point.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        // Points with equal times: the last one wins (it is the final state
+        // of that instant), which partition_point delivers.
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].1)
+        }
+    }
+
+    /// Change points within `[t0, t1]`, plus the value carried into the
+    /// window (so the step function is fully determined on the window).
+    pub fn window(&self, t0: SimTime, t1: SimTime) -> (Option<f64>, &[(SimTime, f64)]) {
+        let start = self.points.partition_point(|&(pt, _)| pt < t0);
+        let end = self.points.partition_point(|&(pt, _)| pt <= t1);
+        let carried = if start == 0 {
+            None
+        } else {
+            Some(self.points[start - 1].1)
+        };
+        (carried, &self.points[start..end])
+    }
+
+    /// Maximum value attained in `[t0, t1]` (including the carried-in
+    /// value). `None` if the series is undefined on the whole window.
+    pub fn max_in(&self, t0: SimTime, t1: SimTime) -> Option<f64> {
+        let (carried, pts) = self.window(t0, t1);
+        let mut best = carried;
+        for &(_, v) in pts {
+            best = Some(best.map_or(v, |b: f64| b.max(v)));
+        }
+        best
+    }
+
+    /// Minimum value attained in `[t0, t1]`.
+    pub fn min_in(&self, t0: SimTime, t1: SimTime) -> Option<f64> {
+        let (carried, pts) = self.window(t0, t1);
+        let mut best = carried;
+        for &(_, v) in pts {
+            best = Some(best.map_or(v, |b: f64| b.min(v)));
+        }
+        best
+    }
+
+    /// Time-weighted mean over `[t0, t1]`: `∫v dt / (t1 − t0)`.
+    /// Time before the first change point contributes the first point's
+    /// value (the series is assumed to start there). `None` for an empty
+    /// series or an empty window.
+    pub fn mean_in(&self, t0: SimTime, t1: SimTime) -> Option<f64> {
+        if self.points.is_empty() || t1 <= t0 {
+            return None;
+        }
+        let (carried, pts) = self.window(t0, t1);
+        // Before the first change point the series is assumed to hold its
+        // first value (this also covers windows entirely before it).
+        let mut cur = carried.unwrap_or(self.points[0].1);
+        let mut at = t0;
+        let mut area = 0.0;
+        for &(pt, v) in pts {
+            let pt = pt.max(t0);
+            area += cur * pt.since(at).as_secs_f64();
+            cur = v;
+            at = pt;
+        }
+        area += cur * t1.since(at).as_secs_f64();
+        Some(area / t1.since(t0).as_secs_f64())
+    }
+
+    /// Sample the step function on `n` evenly spaced instants across
+    /// `[t0, t1]` (inclusive endpoints). Instants before the first change
+    /// point sample the first value. Empty vec for an empty series.
+    pub fn resample(&self, t0: SimTime, t1: SimTime, n: usize) -> Vec<f64> {
+        if self.points.is_empty() || n == 0 || t1 < t0 {
+            return Vec::new();
+        }
+        let first = self.points[0].1;
+        let span = t1.since(t0).as_nanos();
+        (0..n)
+            .map(|i| {
+                let frac = if n == 1 {
+                    0
+                } else {
+                    span * i as u64 / (n as u64 - 1)
+                };
+                let t = t0 + td_engine::SimDuration::from_nanos(frac);
+                self.value_at(t).unwrap_or(first)
+            })
+            .collect()
+    }
+
+    /// The largest decrease `v(t⁻) − v(t⁺)` over any span of at most
+    /// `within` inside `[t0, t1]` — the "rapid fluctuation" magnitude used
+    /// to quantify ACK-compression (§4.2): how far the queue falls within
+    /// one data-packet service time.
+    pub fn max_drop_within(&self, t0: SimTime, t1: SimTime, within: td_engine::SimDuration) -> f64 {
+        let (carried, pts) = self.window(t0, t1);
+        let mut all: Vec<(SimTime, f64)> = Vec::with_capacity(pts.len() + 1);
+        if let Some(c) = carried {
+            all.push((t0, c));
+        }
+        all.extend_from_slice(pts);
+        let mut best: f64 = 0.0;
+        // Two-pointer max-over-sliding-window of (v[i] - min later within dt).
+        for i in 0..all.len() {
+            let (ti, vi) = all[i];
+            let limit = ti + within;
+            for &(tj, vj) in &all[i + 1..] {
+                if tj > limit {
+                    break;
+                }
+                best = best.max(vi - vj);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_engine::SimDuration;
+
+    fn s(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn series() -> TimeSeries {
+        // v: 1 on [1,3), 4 on [3,5), 2 on [5,∞)
+        TimeSeries::from_points(vec![(s(1), 1.0), (s(3), 4.0), (s(5), 2.0)])
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let ts = series();
+        assert_eq!(ts.value_at(s(0)), None);
+        assert_eq!(ts.value_at(s(1)), Some(1.0));
+        assert_eq!(ts.value_at(s(2)), Some(1.0));
+        assert_eq!(ts.value_at(s(3)), Some(4.0));
+        assert_eq!(ts.value_at(s(100)), Some(2.0));
+    }
+
+    #[test]
+    fn value_at_duplicate_times_takes_last() {
+        let ts = TimeSeries::from_points(vec![(s(1), 1.0), (s(1), 9.0)]);
+        assert_eq!(ts.value_at(s(1)), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn push_rejects_backwards_time() {
+        let mut ts = series();
+        ts.push(s(4), 0.0);
+    }
+
+    #[test]
+    fn window_carries_value_in() {
+        let ts = series();
+        let (carried, pts) = ts.window(s(2), s(4));
+        assert_eq!(carried, Some(1.0));
+        assert_eq!(pts, &[(s(3), 4.0)]);
+    }
+
+    #[test]
+    fn max_min_in_window() {
+        let ts = series();
+        assert_eq!(ts.max_in(s(2), s(6)), Some(4.0));
+        assert_eq!(ts.min_in(s(2), s(6)), Some(1.0));
+        assert_eq!(ts.max_in(s(6), s(9)), Some(2.0), "carried value only");
+        assert_eq!(ts.max_in(SimTime::ZERO, SimTime::from_millis(500)), None);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let ts = series();
+        // On [1,5]: 1 for 2 s, 4 for 2 s → mean 2.5.
+        assert_eq!(ts.mean_in(s(1), s(5)), Some(2.5));
+        // On [3,7]: 4 for 2 s, 2 for 2 s → 3.0.
+        assert_eq!(ts.mean_in(s(3), s(7)), Some(3.0));
+        // Degenerate window.
+        assert_eq!(ts.mean_in(s(3), s(3)), None);
+    }
+
+    #[test]
+    fn mean_before_first_point_uses_first_value() {
+        let ts = series();
+        // On [0,2]: assume 1.0 throughout → 1.0.
+        assert_eq!(ts.mean_in(s(0), s(2)), Some(1.0));
+    }
+
+    #[test]
+    fn resample_grid() {
+        let ts = series();
+        let v = ts.resample(s(1), s(5), 5); // t = 1,2,3,4,5
+        assert_eq!(v, vec![1.0, 1.0, 4.0, 4.0, 2.0]);
+        assert!(ts.resample(s(0), s(5), 0).is_empty());
+        assert_eq!(ts.resample(s(3), s(3), 1), vec![4.0]);
+    }
+
+    #[test]
+    fn max_drop_within_detects_square_wave() {
+        // Queue: climbs to 10, crashes to 2 in 1 ms, climbs again.
+        let ts = TimeSeries::from_points(vec![
+            (SimTime::from_millis(0), 10.0),
+            (SimTime::from_millis(1), 2.0),
+            (SimTime::from_millis(500), 10.0),
+            (SimTime::from_millis(2000), 9.0),
+        ]);
+        let fast = ts.max_drop_within(
+            SimTime::ZERO,
+            SimTime::from_secs(3),
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(fast, 8.0, "the crash is visible at 10 ms scale");
+        let slow = ts.max_drop_within(
+            SimTime::ZERO,
+            SimTime::from_secs(3),
+            SimDuration::from_micros(100),
+        );
+        assert_eq!(slow, 0.0, "nothing falls that fast");
+    }
+
+    #[test]
+    fn empty_series_behaviour() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.value_at(s(1)), None);
+        assert_eq!(ts.mean_in(s(0), s(1)), None);
+        assert!(ts.resample(s(0), s(1), 3).is_empty());
+    }
+}

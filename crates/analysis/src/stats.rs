@@ -1,0 +1,173 @@
+//! Small numerical helpers.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns `None` if lengths differ, fewer than two points, or either
+/// sample is constant (correlation undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Median of a sample (averages the middle pair for even lengths);
+/// `None` when empty.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// `p`-quantile (0 ≤ p ≤ 1) by nearest-rank; `None` when empty.
+pub fn quantile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&p), "quantile p out of range");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+    Some(v[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[2.0, 4.0, 6.0]), 8.0 / 3.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [10.0, 20.0, 30.0, 40.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None, "constant x");
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        // A deterministic "uncorrelated" pattern.
+        let x: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| (i % 11) as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.3, "r = {r}");
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}
+
+/// Least-squares slope of `ln(y)` on `ln(x)` — the exponent `b` of a
+/// power-law fit `y = a·x^b`. Points with non-positive coordinates are
+/// skipped; `None` with fewer than two usable points or zero x-variance.
+pub fn power_law_exponent(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let mx = logs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = logs.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxy: f64 = logs.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    Some(sxy / sxx)
+}
+
+#[cfg(test)]
+mod power_law_tests {
+    use super::power_law_exponent;
+
+    #[test]
+    fn recovers_known_exponents() {
+        let sqrt: Vec<(f64, f64)> = (1..100).map(|i| (i as f64, (i as f64).sqrt())).collect();
+        assert!((power_law_exponent(&sqrt).unwrap() - 0.5).abs() < 1e-9);
+        let square: Vec<(f64, f64)> = (1..100).map(|i| (i as f64, (i as f64).powi(2))).collect();
+        assert!((power_law_exponent(&square).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skips_nonpositive_points() {
+        let pts = [(0.0, 5.0), (-1.0, 2.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)];
+        let b = power_law_exponent(&pts).unwrap();
+        assert!((b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(power_law_exponent(&[]).is_none());
+        assert!(power_law_exponent(&[(1.0, 1.0)]).is_none());
+        assert!(power_law_exponent(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! SVG rendering of time series — browser-viewable versions of the
+//! paper's figures, dependency-free.
+//!
+//! The produced files are plain SVG 1.1: a framed plot area, step-function
+//! paths for each series (queue lengths and cwnd are piecewise-constant,
+//! so steps are the honest rendering), drop marks, axis ticks, and a
+//! legend. `td-repro --out` writes one per figure next to the CSVs.
+
+use crate::series::TimeSeries;
+use std::fmt::Write as _;
+use td_engine::SimTime;
+
+/// One rendered series: label, CSS color, `(secs, value)` change points.
+type SvgSeries = (String, String, Vec<(f64, f64)>);
+
+/// Builder for one SVG chart.
+pub struct SvgPlot {
+    title: String,
+    t0: SimTime,
+    t1: SimTime,
+    width: u32,
+    height: u32,
+    y_max: Option<f64>,
+    series: Vec<SvgSeries>,
+    marks: Vec<f64>,
+}
+
+/// Margins around the plot area.
+const ML: f64 = 56.0;
+const MR: f64 = 16.0;
+const MT: f64 = 36.0;
+const MB: f64 = 40.0;
+
+impl SvgPlot {
+    /// A chart over the window `[t0, t1]`, `width`×`height` pixels.
+    pub fn new(title: &str, t0: SimTime, t1: SimTime, width: u32, height: u32) -> Self {
+        assert!(t1 > t0, "empty plot window");
+        assert!(width >= 160 && height >= 120, "svg too small");
+        SvgPlot {
+            title: title.to_owned(),
+            t0,
+            t1,
+            width,
+            height,
+            y_max: None,
+            series: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+
+    /// Fix the y-axis maximum (default: autoscale).
+    pub fn y_max(mut self, y: f64) -> Self {
+        self.y_max = Some(y);
+        self
+    }
+
+    /// Add a series (step-rendered) with a label and CSS color.
+    pub fn series(mut self, label: &str, color: &str, ts: &TimeSeries) -> Self {
+        let (carried, pts) = ts.window(self.t0, self.t1);
+        let mut v: Vec<(f64, f64)> = Vec::with_capacity(pts.len() + 1);
+        if let Some(c) = carried {
+            v.push((self.t0.as_secs_f64(), c));
+        }
+        v.extend(pts.iter().map(|&(t, y)| (t.as_secs_f64(), y)));
+        self.series.push((label.to_owned(), color.to_owned(), v));
+        self
+    }
+
+    /// Add instantaneous event marks (drops), drawn as ticks at the top.
+    pub fn marks(mut self, times: &[SimTime]) -> Self {
+        self.marks.extend(
+            times
+                .iter()
+                .filter(|&&t| t >= self.t0 && t <= self.t1)
+                .map(|t| t.as_secs_f64()),
+        );
+        self
+    }
+
+    /// Render the SVG document.
+    pub fn render(&self) -> String {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let (pw, ph) = (w - ML - MR, h - MT - MB);
+        let x0 = self.t0.as_secs_f64();
+        let x1 = self.t1.as_secs_f64();
+        let ymax = self
+            .y_max
+            .unwrap_or_else(|| {
+                self.series
+                    .iter()
+                    .flat_map(|(_, _, v)| v.iter().map(|p| p.1))
+                    .fold(1.0_f64, f64::max)
+            })
+            .max(1e-9);
+        let sx = move |x: f64| ML + (x - x0) / (x1 - x0) * pw;
+        let sy = move |y: f64| MT + ph - (y / ymax).min(1.0) * ph;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#
+        );
+        let _ = writeln!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="18" font-size="13" font-weight="bold">{}</text>"#,
+            ML,
+            xml_escape(&self.title)
+        );
+        // Frame + gridlines + y ticks.
+        let _ = writeln!(
+            out,
+            r##"<rect x="{ML}" y="{MT}" width="{pw}" height="{ph}" fill="none" stroke="#999"/>"##
+        );
+        for i in 0..=4 {
+            let yv = ymax * i as f64 / 4.0;
+            let y = sy(yv);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#eee"/>"##,
+                ML + pw
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{yv:.0}</text>"#,
+                ML - 6.0,
+                y + 4.0
+            );
+        }
+        // x ticks.
+        for i in 0..=5 {
+            let xv = x0 + (x1 - x0) * i as f64 / 5.0;
+            let x = sx(xv);
+            let _ = writeln!(
+                out,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{xv:.0}s</text>"#,
+                MT + ph + 16.0
+            );
+        }
+        // Series as step paths.
+        for (_, color, pts) in &self.series {
+            if pts.is_empty() {
+                continue;
+            }
+            let mut d = String::new();
+            let _ = write!(d, "M{:.1},{:.1}", sx(pts[0].0), sy(pts[0].1));
+            let mut last_y = pts[0].1;
+            for &(x, y) in &pts[1..] {
+                let _ = write!(d, " H{:.1}", sx(x));
+                if y != last_y {
+                    let _ = write!(d, " V{:.1}", sy(y));
+                    last_y = y;
+                }
+            }
+            let _ = write!(d, " H{:.1}", sx(x1));
+            let _ = writeln!(
+                out,
+                r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.2"/>"#
+            );
+        }
+        // Drop marks.
+        for &x in &self.marks {
+            let px = sx(x);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{px:.1}" y1="{MT}" x2="{px:.1}" y2="{:.1}" stroke="#d33" stroke-width="1.5"/>"##,
+                MT + 8.0
+            );
+        }
+        // Legend.
+        let mut lx = ML + 8.0;
+        for (label, color, _) in &self.series {
+            let _ = writeln!(
+                out,
+                r#"<rect x="{lx:.1}" y="{:.1}" width="10" height="10" fill="{color}"/>"#,
+                MT + 6.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                lx + 14.0,
+                MT + 15.0,
+                xml_escape(label)
+            );
+            lx += 14.0 + 7.0 * label.len() as f64 + 16.0;
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for i in 0..=10u64 {
+            ts.push(SimTime::from_secs(i), (i % 4) as f64);
+        }
+        ts
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let svg = SvgPlot::new("queue", SimTime::ZERO, SimTime::from_secs(10), 640, 360)
+            .series("q1", "#1f77b4", &ramp())
+            .marks(&[SimTime::from_secs(5)])
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("queue"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("#d33"), "drop mark present");
+        // Balanced tags (crude well-formedness check).
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn escape_in_title_and_legend() {
+        let svg = SvgPlot::new("a < b & c", SimTime::ZERO, SimTime::from_secs(1), 320, 200)
+            .series("x<y", "red", &ramp())
+            .render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn marks_outside_window_are_dropped() {
+        let svg = SvgPlot::new("m", SimTime::from_secs(2), SimTime::from_secs(4), 320, 200)
+            .series("s", "blue", &ramp())
+            .marks(&[SimTime::ZERO, SimTime::from_secs(9)])
+            .render();
+        assert!(!svg.contains("#d33"));
+    }
+
+    #[test]
+    fn fixed_y_max_used_for_ticks() {
+        let svg = SvgPlot::new("m", SimTime::ZERO, SimTime::from_secs(10), 320, 200)
+            .series("s", "blue", &ramp())
+            .y_max(100.0)
+            .render();
+        assert!(svg.contains(">100<"), "top tick shows fixed max");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty plot window")]
+    fn rejects_empty_window() {
+        let _ = SvgPlot::new("x", SimTime::from_secs(1), SimTime::from_secs(1), 320, 200);
+    }
+}

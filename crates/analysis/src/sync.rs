@@ -1,0 +1,153 @@
+//! Synchronization-mode classification (§4.3).
+//!
+//! Two-way traffic exhibits two modes: *in-phase* (both windows/queues rise
+//! and fall together — Figures 6–7) and *out-of-phase* (one rises while the
+//! other falls — Figures 4–5 and the ten-connection run of Figure 3). We
+//! classify by the Pearson correlation of the two series resampled onto a
+//! common grid: strongly positive → in-phase, strongly negative →
+//! out-of-phase.
+//!
+//! The low-frequency oscillation the modes describe rides under the
+//! high-frequency ACK-compression square waves, so correlation is computed
+//! on series smoothed with a moving-average window of a few plateau widths.
+
+use crate::series::TimeSeries;
+use crate::stats::pearson;
+use td_engine::SimTime;
+
+/// The classified relationship between two oscillating series.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncMode {
+    /// Rising and falling together (correlation ≥ +threshold).
+    InPhase,
+    /// One rising while the other falls (correlation ≤ −threshold).
+    OutOfPhase,
+    /// No clear relationship.
+    Indeterminate,
+}
+
+/// Classify the synchronization of two series over `[t0, t1]`.
+///
+/// `samples` is the resampling grid size (a few hundred is plenty);
+/// `smooth` is the moving-average half-width in samples used to suppress
+/// the ACK-compression square waves; `threshold` is the |r| needed to call
+/// a phase (0.2 is a sensible default — the modes in the paper are far
+/// more extreme).
+pub fn classify_sync(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    t0: SimTime,
+    t1: SimTime,
+    samples: usize,
+    smooth: usize,
+    threshold: f64,
+) -> (SyncMode, f64) {
+    let xa = smooth_ma(&a.resample(t0, t1, samples), smooth);
+    let xb = smooth_ma(&b.resample(t0, t1, samples), smooth);
+    match pearson(&xa, &xb) {
+        Some(r) if r >= threshold => (SyncMode::InPhase, r),
+        Some(r) if r <= -threshold => (SyncMode::OutOfPhase, r),
+        Some(r) => (SyncMode::Indeterminate, r),
+        None => (SyncMode::Indeterminate, 0.0),
+    }
+}
+
+/// Centered moving average with half-width `k` (window `2k+1`, clipped at
+/// the edges). `k = 0` returns the input unchanged.
+pub fn smooth_ma(xs: &[f64], k: usize) -> Vec<f64> {
+    if k == 0 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    (0..xs.len())
+        .map(|i| {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k + 1).min(xs.len());
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_engine::SimDuration;
+
+    /// Triangle wave with given period and phase offset, as a TimeSeries.
+    fn triangle(period_s: u64, phase_frac: f64, dur_s: u64) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        let steps_per_period = 40u64;
+        let dt = SimDuration::from_millis(period_s * 1000 / steps_per_period);
+        let n = dur_s * steps_per_period / period_s;
+        for i in 0..n {
+            let phase = (i as f64 / steps_per_period as f64 + phase_frac).fract();
+            let v = if phase < 0.5 {
+                phase * 2.0
+            } else {
+                2.0 - phase * 2.0
+            };
+            ts.push(SimTime::ZERO + dt * i, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn identical_waves_are_in_phase() {
+        let a = triangle(30, 0.0, 300);
+        let b = triangle(30, 0.0, 300);
+        let (mode, r) = classify_sync(&a, &b, SimTime::ZERO, SimTime::from_secs(300), 400, 0, 0.2);
+        assert_eq!(mode, SyncMode::InPhase);
+        assert!(r > 0.95);
+    }
+
+    #[test]
+    fn half_period_offset_is_out_of_phase() {
+        let a = triangle(30, 0.0, 300);
+        let b = triangle(30, 0.5, 300);
+        let (mode, r) = classify_sync(&a, &b, SimTime::ZERO, SimTime::from_secs(300), 400, 0, 0.2);
+        assert_eq!(mode, SyncMode::OutOfPhase);
+        assert!(r < -0.95, "r = {r}");
+    }
+
+    #[test]
+    fn quarter_offset_is_indeterminate() {
+        let a = triangle(30, 0.0, 300);
+        let b = triangle(30, 0.25, 300);
+        let (mode, r) = classify_sync(&a, &b, SimTime::ZERO, SimTime::from_secs(300), 400, 0, 0.5);
+        assert_eq!(mode, SyncMode::Indeterminate, "r = {r}");
+    }
+
+    #[test]
+    fn smoothing_suppresses_square_wave_noise() {
+        // In-phase triangles with huge alternating spikes added to one.
+        let a = triangle(30, 0.0, 300);
+        let mut noisy_pts = Vec::new();
+        for (i, &(t, v)) in triangle(30, 0.0, 300).points().iter().enumerate() {
+            let spike = if i % 2 == 0 { 3.0 } else { -3.0 };
+            noisy_pts.push((t, v + spike));
+        }
+        let b = TimeSeries::from_points(noisy_pts);
+        let (_raw_mode, raw_r) =
+            classify_sync(&a, &b, SimTime::ZERO, SimTime::from_secs(300), 400, 0, 0.2);
+        let (mode, r) = classify_sync(&a, &b, SimTime::ZERO, SimTime::from_secs(300), 400, 8, 0.2);
+        assert_eq!(mode, SyncMode::InPhase);
+        assert!(r > raw_r, "smoothing must raise correlation: {raw_r} → {r}");
+    }
+
+    #[test]
+    fn empty_series_is_indeterminate() {
+        let a = TimeSeries::new();
+        let b = triangle(30, 0.0, 300);
+        let (mode, r) = classify_sync(&a, &b, SimTime::ZERO, SimTime::from_secs(300), 100, 0, 0.2);
+        assert_eq!(mode, SyncMode::Indeterminate);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn moving_average_basics() {
+        assert_eq!(smooth_ma(&[1.0, 2.0, 3.0], 0), vec![1.0, 2.0, 3.0]);
+        let sm = smooth_ma(&[0.0, 10.0, 0.0, 10.0, 0.0], 1);
+        assert_eq!(sm[2], 20.0 / 3.0);
+        assert_eq!(sm[0], 5.0, "edge uses clipped window");
+        assert!(smooth_ma(&[], 3).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the step-function time series.
+
+use proptest::prelude::*;
+use td_analysis::TimeSeries;
+use td_engine::SimTime;
+
+/// Sorted (time, value) change points.
+fn points() -> impl Strategy<Value = Vec<(SimTime, f64)>> {
+    proptest::collection::vec((0u64..1_000_000, -1000.0..1000.0f64), 1..80).prop_map(|mut v| {
+        v.sort_by_key(|p| p.0);
+        v.into_iter()
+            .map(|(t, x)| (SimTime::from_micros(t), x))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The time-weighted mean always lies within [min, max] of the window.
+    #[test]
+    fn mean_bounded_by_extrema(pts in points(), a in 0u64..1_000_000, b in 1u64..1_000_000) {
+        let ts = TimeSeries::from_points(pts);
+        let (t0, t1) = (
+            SimTime::from_micros(a.min(a + b)),
+            SimTime::from_micros(a + b),
+        );
+        if let Some(m) = ts.mean_in(t0, t1) {
+            // The mean may also involve the first value extended backwards,
+            // so bound by the global extrema as well as the window's.
+            let lo = ts
+                .min_in(t0, t1)
+                .unwrap_or(f64::INFINITY)
+                .min(ts.points()[0].1);
+            let hi = ts
+                .max_in(t0, t1)
+                .unwrap_or(f64::NEG_INFINITY)
+                .max(ts.points()[0].1);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "mean {m} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// value_at agrees with a linear scan of the change points.
+    #[test]
+    fn value_at_matches_scan(pts in points(), probe in 0u64..1_200_000) {
+        let ts = TimeSeries::from_points(pts.clone());
+        let t = SimTime::from_micros(probe);
+        let expected = pts.iter().rev().find(|&&(pt, _)| pt <= t).map(|&(_, v)| v);
+        prop_assert_eq!(ts.value_at(t), expected);
+    }
+
+    /// Resampling returns exactly n values, all of which occur in the
+    /// series (or are the first value).
+    #[test]
+    fn resample_values_come_from_series(pts in points(), n in 1usize..50) {
+        let ts = TimeSeries::from_points(pts.clone());
+        let t1 = pts.last().unwrap().0;
+        let out = ts.resample(SimTime::ZERO, t1, n);
+        prop_assert_eq!(out.len(), n);
+        for v in out {
+            prop_assert!(pts.iter().any(|&(_, x)| x == v), "resampled {v} not a point value");
+        }
+    }
+
+    /// max_in ≥ min_in whenever both exist, and both are attained values.
+    #[test]
+    fn extrema_consistent(pts in points(), a in 0u64..1_000_000, b in 1u64..1_000_000) {
+        let ts = TimeSeries::from_points(pts.clone());
+        let (t0, t1) = (SimTime::from_micros(a), SimTime::from_micros(a + b));
+        match (ts.min_in(t0, t1), ts.max_in(t0, t1)) {
+            (Some(lo), Some(hi)) => {
+                prop_assert!(lo <= hi);
+                prop_assert!(pts.iter().any(|&(_, v)| v == lo));
+                prop_assert!(pts.iter().any(|&(_, v)| v == hi));
+            }
+            (None, None) => {}
+            other => return Err(TestCaseError::fail(format!("mismatched extrema {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation benches: regenerate the three design-ablation tables and time
+//! their kernels (pacing, increment rule, gateway discipline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use td_core::{CcKind, IncrementRule, ReceiverConfig, SenderConfig};
+use td_engine::SimDuration;
+use td_experiments::registry::{find, Profile};
+use td_experiments::{ConnSpec, Scenario, DATA_SERVICE};
+use td_net::DisciplineKind;
+
+fn print_report_once(id: &str) {
+    let rep = find(id).expect("registered").run(1, Profile::Quick);
+    println!("\n{rep}");
+    assert!(rep.all_ok(), "{id} out of band: {:?}", rep.failures());
+}
+
+fn kernel(discipline: DisciplineKind, sender: SenderConfig) -> u64 {
+    let spec = ConnSpec {
+        sender,
+        receiver: ReceiverConfig::paper(),
+    };
+    let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+        .with_fwd(1, spec)
+        .with_rev(1, spec);
+    sc.discipline = discipline;
+    sc.duration = SimDuration::from_secs(60);
+    sc.warmup = SimDuration::from_secs(10);
+    sc.run().world.events_dispatched()
+}
+
+fn ablations(c: &mut Criterion) {
+    print_report_once("abl-pacing");
+    c.bench_function("ablation/nonpaced", |b| {
+        b.iter(|| black_box(kernel(DisciplineKind::DropTail, SenderConfig::paper())));
+    });
+    c.bench_function("ablation/paced", |b| {
+        b.iter(|| {
+            black_box(kernel(
+                DisciplineKind::DropTail,
+                SenderConfig {
+                    pacing: Some(DATA_SERVICE),
+                    ..SenderConfig::paper()
+                },
+            ))
+        });
+    });
+
+    print_report_once("abl-increment");
+    c.bench_function("ablation/increment-original", |b| {
+        b.iter(|| {
+            black_box(kernel(
+                DisciplineKind::DropTail,
+                SenderConfig {
+                    cc: CcKind::Tahoe {
+                        rule: IncrementRule::Original,
+                    },
+                    ..SenderConfig::paper()
+                },
+            ))
+        });
+    });
+
+    print_report_once("abl-red");
+    c.bench_function("ablation/discipline-Red", |b| {
+        b.iter(|| black_box(kernel(DisciplineKind::Red, SenderConfig::paper())));
+    });
+
+    print_report_once("abl-discipline");
+    for disc in [
+        DisciplineKind::DropTail,
+        DisciplineKind::RandomDrop,
+        DisciplineKind::FairQueueing,
+    ] {
+        c.bench_function(&format!("ablation/discipline-{disc:?}"), |b| {
+            b.iter(|| black_box(kernel(disc, SenderConfig::paper())));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablations
+}
+criterion_main!(benches);

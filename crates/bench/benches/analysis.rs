@@ -1,0 +1,76 @@
+//! Analysis-pipeline benchmarks: how fast the offline metrics run over a
+//! realistic trace. One paper-scale fig45 run (~hundreds of thousands of
+//! trace records) is built once; each metric is timed against it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use td_analysis::sync::classify_sync;
+use td_analysis::{
+    ack_spacing, clustering_coefficient, compression, cwnd_series, deliveries, departures,
+    drop_events, queue_series, sojourns, utilization_in,
+};
+use td_experiments::{fig45, DATA_SERVICE};
+
+fn analysis(c: &mut Criterion) {
+    // One shared run; building it is not part of any measurement.
+    let run = fig45::scenario(1, 300, 20).run();
+    let trace = run.world.trace();
+    println!("trace records: {}", trace.len());
+
+    c.bench_function("analysis/queue_series", |b| {
+        b.iter(|| black_box(queue_series(trace, run.bottleneck_12).len()));
+    });
+    c.bench_function("analysis/cwnd_series", |b| {
+        b.iter(|| black_box(cwnd_series(trace, run.fwd[0]).len()));
+    });
+    c.bench_function("analysis/drop_events", |b| {
+        b.iter(|| black_box(drop_events(trace).len()));
+    });
+    c.bench_function("analysis/utilization_in", |b| {
+        b.iter(|| black_box(utilization_in(trace, run.bottleneck_12, run.t0, run.t1)));
+    });
+    c.bench_function("analysis/departures+clustering", |b| {
+        b.iter(|| {
+            let deps = departures(trace, run.bottleneck_12);
+            black_box(clustering_coefficient(&deps))
+        });
+    });
+    c.bench_function("analysis/ack_spacing", |b| {
+        let acks = deliveries(trace, run.host1, run.fwd[0], true);
+        b.iter(|| black_box(ack_spacing(&acks, DATA_SERVICE)));
+    });
+    c.bench_function("analysis/queue_fluctuation", |b| {
+        let q = queue_series(trace, run.bottleneck_12);
+        b.iter(|| {
+            black_box(compression::queue_fluctuation(
+                &q,
+                run.t0,
+                run.t1,
+                DATA_SERVICE,
+            ))
+        });
+    });
+    c.bench_function("analysis/classify_sync", |b| {
+        let a = cwnd_series(trace, run.fwd[0]);
+        let d = cwnd_series(trace, run.rev[0]);
+        b.iter(|| black_box(classify_sync(&a, &d, run.t0, run.t1, 800, 5, 0.15)));
+    });
+    c.bench_function("analysis/sojourns", |b| {
+        b.iter(|| black_box(sojourns(trace, run.bottleneck_12, run.t0, run.t1).len()));
+    });
+    c.bench_function("analysis/pcap_bytes", |b| {
+        b.iter(|| {
+            black_box(
+                td_net::to_pcap_bytes(trace, td_net::CapturePoint::ChannelWire(run.bottleneck_12))
+                    .len(),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = analysis
+}
+criterion_main!(benches);

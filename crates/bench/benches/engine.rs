@@ -1,0 +1,94 @@
+//! Simulator-core microbenchmarks: event queue, RNG, and the end-to-end
+//! event-processing rate of a saturated dumbbell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use td_engine::{EventQueue, SimDuration, SimRng, SimTime};
+use td_experiments::{ConnSpec, Scenario};
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("engine/event-queue push-pop 10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Interleaved schedule pattern exercising heap churn.
+            for i in 0..10_000u64 {
+                let t = SimTime::from_nanos((i * 2_654_435_761) % 1_000_000_000);
+                q.schedule_at(t.max(q.now()), i);
+                if i % 3 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    });
+
+    c.bench_function("engine/event-queue cancel-heavy 10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0..10_000u64)
+                .map(|i| q.schedule_at(SimTime::from_nanos(i), i))
+                .collect();
+            // Cancel half (the TCP retransmit-timer pattern).
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    });
+}
+
+fn rng(c: &mut Criterion) {
+    c.bench_function("engine/rng next_u64 x1k", |b| {
+        let mut r = SimRng::new(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(r.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("engine/rng next_below x1k", |b| {
+        let mut r = SimRng::new(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc += r.next_below(12345);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn end_to_end(c: &mut Criterion) {
+    // Events per second of wall time on a busy two-way scenario — the
+    // number that determines how long paper-scale runs take.
+    for trace_on in [true, false] {
+        let label = if trace_on { "trace on" } else { "trace off" };
+        c.bench_function(
+            &format!("engine/dumbbell 60-sim-seconds 5+5 ({label})"),
+            |b| {
+                b.iter(|| {
+                    let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(30))
+                        .with_fwd(5, ConnSpec::paper())
+                        .with_rev(5, ConnSpec::paper());
+                    sc.duration = SimDuration::from_secs(60);
+                    sc.warmup = SimDuration::from_secs(10);
+                    sc.record_trace = trace_on;
+                    black_box(sc.run().world.events_dispatched())
+                });
+            },
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = event_queue, rng, end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Sender and receiver configuration.
+
+use crate::cc::CcKind;
+use td_engine::SimDuration;
+
+/// Retransmission-timer parameters (BSD 4.3 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct RtoConfig {
+    /// Timer granularity: timeouts are rounded up to a multiple of this.
+    /// BSD's slow-timeout clock ticked every 500 ms, which is what makes
+    /// Tahoe retransmissions happen "after some essentially random
+    /// interval" (paper §3.1). Set to 1 ns for an ideal fine-grained timer.
+    pub granularity: SimDuration,
+    /// RTO used before any RTT sample exists.
+    pub initial: SimDuration,
+    /// Lower bound on the computed RTO.
+    pub min: SimDuration,
+    /// Upper bound on the computed RTO (backoff saturates here).
+    pub max: SimDuration,
+}
+
+impl Default for RtoConfig {
+    fn default() -> Self {
+        RtoConfig {
+            granularity: SimDuration::from_millis(500),
+            initial: SimDuration::from_secs(3),
+            min: SimDuration::from_secs(1),
+            max: SimDuration::from_secs(64),
+        }
+    }
+}
+
+/// Delayed-ACK behaviour (paper §2.1 / §5).
+///
+/// With the option on, the receiver holds the ACK for an in-order data
+/// packet until a second packet arrives (ACKing both at once) or a
+/// "rather conservative" timer expires. Out-of-order and duplicate
+/// segments are always ACKed immediately (they carry congestion signal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayedAck {
+    /// Maximum time an ACK may be withheld (BSD fast-timeout: 200 ms).
+    pub max_delay: SimDuration,
+}
+
+impl Default for DelayedAck {
+    fn default() -> Self {
+        DelayedAck {
+            max_delay: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// Configuration of one [`crate::TcpSender`].
+#[derive(Clone, Copy, Debug)]
+pub struct SenderConfig {
+    /// Congestion-control algorithm.
+    pub cc: CcKind,
+    /// Receiver-advertised maximum window, in packets (1000 in the paper;
+    /// never binding there since cwnd stays below 50).
+    pub maxwnd: u64,
+    /// Data-packet wire size in bytes (500 in the paper).
+    pub data_size: u32,
+    /// Duplicate ACKs that trigger fast retransmit (BSD `tcprexmtthresh`,
+    /// 3).
+    pub dupack_threshold: u32,
+    /// Retransmission-timer parameters.
+    pub rto: RtoConfig,
+    /// Number of data packets to transfer, then stop (`None` = the
+    /// paper's infinite stream). When the last packet is cumulatively
+    /// acknowledged the sender cancels its timers and records the
+    /// completion time — enabling flow-completion-time experiments.
+    pub data_limit: Option<u64>,
+    /// If set, data transmissions are spaced at least this far apart
+    /// instead of being sent back-to-back on ACK arrival — the "pacing"
+    /// counterfactual of the paper's nonpaced conjecture. `None` (the
+    /// paper's setting) sends immediately.
+    pub pacing: Option<SimDuration>,
+}
+
+impl Default for SenderConfig {
+    fn default() -> Self {
+        SenderConfig {
+            cc: CcKind::default(),
+            maxwnd: 1000,
+            data_size: 500,
+            dupack_threshold: 3,
+            rto: RtoConfig::default(),
+            data_limit: None,
+            pacing: None,
+        }
+    }
+}
+
+impl SenderConfig {
+    /// The paper's sender: modified-Tahoe, maxwnd 1000, 500-byte packets.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A fixed-window sender of `wnd` packets (Figures 8–9).
+    ///
+    /// The retransmission timer is effectively disabled: the fixed-window
+    /// runs use infinite buffers and error-free links, so no packet is ever
+    /// lost, and the paper's idealization has no retransmission dynamics.
+    /// (A live RTO would misfire during the multi-second ACK-compression
+    /// stalls these runs exist to exhibit, go-back-N the whole window, and
+    /// contaminate the queue trace.)
+    pub fn fixed_window(wnd: u64) -> Self {
+        let forever = SimDuration::from_secs(1_000_000_000);
+        SenderConfig {
+            cc: CcKind::FixedWindow { wnd },
+            rto: RtoConfig {
+                granularity: SimDuration::from_millis(500),
+                initial: forever,
+                min: forever,
+                max: forever,
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// Configuration of one [`crate::TcpReceiver`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReceiverConfig {
+    /// ACK wire size in bytes (50 in the paper; 0 for the §4.3.3
+    /// zero-length-ACK idealization).
+    pub ack_size: u32,
+    /// Delayed-ACK option; `None` (paper default) ACKs every data packet
+    /// immediately.
+    pub delayed_ack: Option<DelayedAck>,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> Self {
+        ReceiverConfig {
+            ack_size: 50,
+            delayed_ack: None,
+        }
+    }
+}
+
+impl ReceiverConfig {
+    /// The paper's receiver: 50-byte ACKs, delayed-ACK off.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Zero-length ACKs (the §4.3.3 conjecture's idealization).
+    pub fn zero_ack() -> Self {
+        ReceiverConfig {
+            ack_size: 0,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let s = SenderConfig::paper();
+        assert_eq!(s.maxwnd, 1000);
+        assert_eq!(s.data_size, 500);
+        assert_eq!(s.dupack_threshold, 3);
+        assert!(s.pacing.is_none());
+        let r = ReceiverConfig::paper();
+        assert_eq!(r.ack_size, 50);
+        assert!(r.delayed_ack.is_none());
+    }
+
+    #[test]
+    fn fixed_window_selects_cc() {
+        let s = SenderConfig::fixed_window(30);
+        assert_eq!(s.cc, CcKind::FixedWindow { wnd: 30 });
+    }
+
+    #[test]
+    fn zero_ack_config() {
+        assert_eq!(ReceiverConfig::zero_ack().ack_size, 0);
+    }
+
+    #[test]
+    fn rto_defaults_match_bsd() {
+        let r = RtoConfig::default();
+        assert_eq!(r.granularity, SimDuration::from_millis(500));
+        assert_eq!(r.max, SimDuration::from_secs(64));
+    }
+}

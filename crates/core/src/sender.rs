@@ -1,0 +1,834 @@
+//! The TCP sender.
+//!
+//! Implements the BSD 4.3-Tahoe transmission machinery the paper studies
+//! (§2.1), against the [`td_net::Endpoint`] interface:
+//!
+//! * **Window-limited transmission** of an infinite bulk stream: send while
+//!   `snd_nxt − snd_una < wnd`, where `wnd = ⌊min(cwnd, maxwnd)⌋` comes
+//!   from the pluggable [`CongestionControl`]. Without pacing, every
+//!   permission to send is exercised immediately — the "nonpaced" property
+//!   whose consequences (packet clustering → ACK-compression) the paper
+//!   dissects.
+//! * **Loss detection** (paper footnote 4) by duplicate ACKs — BSD's
+//!   `t_dupacks == tcprexmtthresh` (exactly-equals, so one fast retransmit
+//!   per dup-ACK run) — and by retransmission timeout.
+//! * **Go-back-N recovery**: on either loss signal, `snd_nxt` is pulled
+//!   back to `snd_una` and transmission resumes under the post-loss window
+//!   (1 packet for Tahoe). Receivers keep out-of-order data, so the
+//!   cumulative ACK typically jumps over everything already buffered.
+//! * **Karn's rule**: one segment is timed at a time and the measurement is
+//!   abandoned whenever recovery retransmits.
+//!
+//! The sender emits [`ProtoEvent`] annotations (cwnd samples on every
+//! change, loss detections, retransmissions) so `td-analysis` can
+//! reconstruct the paper's Figure 2/5/7 cwnd plots and loss chronologies.
+
+use crate::cc::CongestionControl;
+use crate::config::SenderConfig;
+use crate::rtt::RttEstimator;
+use std::any::Any;
+use td_engine::SimTime;
+use td_net::{Ctx, Endpoint, LossKind, Packet, PacketKind, ProtoEvent};
+
+const TOKEN_RTO: u64 = 1;
+const TOKEN_PACE: u64 = 3;
+
+/// Counters exposed after a run.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SenderStats {
+    /// Data transmissions, including retransmissions.
+    pub packets_sent: u64,
+    /// First transmissions of new sequence numbers.
+    pub new_data_sent: u64,
+    /// Retransmissions.
+    pub retransmits: u64,
+    /// Highest cumulatively acknowledged sequence number.
+    pub acked: u64,
+    /// Duplicate ACKs received.
+    pub dupacks: u64,
+    /// Losses detected via the duplicate-ACK threshold.
+    pub fast_retransmits: u64,
+    /// Losses detected via timer expiry.
+    pub timeouts: u64,
+}
+
+/// The sending endpoint of one connection.
+pub struct TcpSender {
+    cfg: SenderConfig,
+    cc: Box<dyn CongestionControl>,
+    rtt: RttEstimator,
+    /// Lowest unacknowledged sequence number (first is 1).
+    snd_una: u64,
+    /// Next sequence number to transmit (pulled back on loss).
+    snd_nxt: u64,
+    /// One past the highest sequence number ever transmitted.
+    snd_max: u64,
+    /// Consecutive duplicate-ACK count.
+    dupacks: u32,
+    /// RTO timer, if armed.
+    rto_armed: Option<td_net::TimerHandle>,
+    /// Segment being timed for RTT: (sequence, send time).
+    timing: Option<(u64, SimTime)>,
+    /// Pacing: earliest time the next data packet may leave.
+    pace_due: SimTime,
+    /// Pacing timer armed.
+    pace_armed: bool,
+    /// When the final packet of a finite transfer was acknowledged.
+    finished_at: Option<SimTime>,
+    stats: SenderStats,
+}
+
+impl TcpSender {
+    /// A fresh sender (nothing sent, `snd_una = snd_nxt = 1`).
+    pub fn new(cfg: SenderConfig) -> Self {
+        TcpSender {
+            cc: cfg.cc.build(cfg.maxwnd),
+            rtt: RttEstimator::new(cfg.rto),
+            cfg,
+            snd_una: 1,
+            snd_nxt: 1,
+            snd_max: 1,
+            dupacks: 0,
+            rto_armed: None,
+            timing: None,
+            pace_due: SimTime::ZERO,
+            pace_armed: false,
+            finished_at: None,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// A boxed sender, ready for [`td_net::World::attach`].
+    pub fn boxed(cfg: SenderConfig) -> Box<dyn Endpoint> {
+        Box::new(Self::new(cfg))
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// Real-valued congestion window (for inspection).
+    pub fn cwnd(&self) -> f64 {
+        self.cc.cwnd()
+    }
+
+    /// Usable window in packets.
+    pub fn window(&self) -> u64 {
+        self.cc.window().min(self.cfg.maxwnd)
+    }
+
+    /// Packets in flight (`snd_nxt − snd_una`).
+    pub fn outstanding(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// The RTT estimator (for inspection).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// For finite transfers ([`SenderConfig::data_limit`]): when the last
+    /// packet was cumulatively acknowledged. `None` while in progress or
+    /// for infinite streams.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    fn emit_cwnd(&mut self, ctx: &mut Ctx<'_>) {
+        let (cwnd, ssthresh) = (self.cc.cwnd(), self.cc.ssthresh());
+        ctx.emit(ProtoEvent::Cwnd { cwnd, ssthresh });
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(h) = self.rto_armed.take() {
+            ctx.cancel_timer(h);
+        }
+        self.rto_armed = Some(ctx.set_timer(self.rtt.rto(), TOKEN_RTO));
+    }
+
+    fn cancel_rto(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(h) = self.rto_armed.take() {
+            ctx.cancel_timer(h);
+        }
+    }
+
+    /// Transmit as much as the window (and the pacer) allows.
+    fn try_send(&mut self, ctx: &mut Ctx<'_>) {
+        let wnd = self.window();
+        let highest = self.cfg.data_limit.unwrap_or(u64::MAX);
+        while self.snd_nxt - self.snd_una < wnd && self.snd_nxt <= highest {
+            if let Some(interval) = self.cfg.pacing {
+                let now = ctx.now();
+                if now < self.pace_due {
+                    if !self.pace_armed {
+                        self.pace_armed = true;
+                        ctx.set_timer(self.pace_due.since(now), TOKEN_PACE);
+                    }
+                    return;
+                }
+                self.pace_due = now + interval;
+            }
+            let seq = self.snd_nxt;
+            let retx = seq < self.snd_max;
+            ctx.send(PacketKind::Data, seq, self.cfg.data_size, retx);
+            self.stats.packets_sent += 1;
+            if retx {
+                self.stats.retransmits += 1;
+                ctx.emit(ProtoEvent::Retransmit { seq });
+            } else {
+                self.stats.new_data_sent += 1;
+                if self.timing.is_none() {
+                    self.timing = Some((seq, ctx.now()));
+                }
+            }
+            self.snd_nxt += 1;
+            self.snd_max = self.snd_max.max(self.snd_nxt);
+            if self.rto_armed.is_none() {
+                self.arm_rto(ctx);
+            }
+        }
+    }
+
+    /// Window reduction + retransmission on a detected loss.
+    ///
+    /// The two detection paths recover differently, as in BSD:
+    ///
+    /// * **Duplicate ACKs** (fast retransmit): resend exactly the first
+    ///   unacknowledged segment and leave `snd_nxt` where it is — the BSD
+    ///   code saves `onxt`, retransmits one segment, and restores. The
+    ///   receiver has buffered the rest of the window, so the next
+    ///   cumulative ACK jumps past it; re-sending it here would generate
+    ///   duplicate-data ACKs that masquerade as fresh dup-ACK runs and set
+    ///   off spurious retransmissions.
+    /// * **Timeout**: genuine go-back-N — `snd_nxt = snd_una` and resume
+    ///   under the collapsed window (everything in flight is presumed
+    ///   gone).
+    fn on_loss_detected(&mut self, ctx: &mut Ctx<'_>, kind: LossKind) {
+        ctx.emit(ProtoEvent::LossDetected {
+            seq: self.snd_una,
+            kind,
+        });
+        self.cc.on_loss(kind);
+        self.emit_cwnd(ctx);
+        // Karn: the timed segment is about to be retransmitted.
+        self.timing = None;
+        match kind {
+            LossKind::DupAck => self.retransmit_first_unacked(ctx),
+            LossKind::Timeout => {
+                self.snd_nxt = self.snd_una;
+                self.try_send(ctx);
+            }
+        }
+        self.arm_rto(ctx);
+    }
+
+    /// Resend `snd_una` once (the fast-retransmit action). Bypasses the
+    /// pacer: the retransmission replaces a packet that already left.
+    fn retransmit_first_unacked(&mut self, ctx: &mut Ctx<'_>) {
+        let seq = self.snd_una;
+        ctx.send(PacketKind::Data, seq, self.cfg.data_size, true);
+        self.stats.packets_sent += 1;
+        self.stats.retransmits += 1;
+        ctx.emit(ProtoEvent::Retransmit { seq });
+    }
+}
+
+impl Endpoint for TcpSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.emit_cwnd(ctx);
+        self.try_send(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        debug_assert!(pkt.is_ack(), "sender got a non-ACK packet");
+        let ack = pkt.seq; // highest in-order seq received by the peer
+        debug_assert!(ack < self.snd_max, "ACK beyond anything sent");
+
+        if ack + 1 > self.snd_una {
+            // New data acknowledged.
+            if self.dupacks >= self.cfg.dupack_threshold {
+                self.cc.on_recovery_ack(); // Reno deflation; no-op elsewhere
+            }
+            self.dupacks = 0;
+            self.snd_una = ack + 1;
+            self.stats.acked = self.stats.acked.max(ack);
+            if let Some((seq, sent_at)) = self.timing {
+                if ack >= seq {
+                    self.rtt.sample(ctx.now().since(sent_at));
+                    self.timing = None;
+                }
+            }
+            self.cc.on_ack_marked(pkt.ce);
+            self.emit_cwnd(ctx);
+            self.snd_nxt = self.snd_nxt.max(self.snd_una);
+            if self.snd_max > self.snd_una {
+                self.arm_rto(ctx); // restart for the remaining flight
+            } else {
+                self.cancel_rto(ctx);
+            }
+            if let Some(limit) = self.cfg.data_limit {
+                if self.snd_una > limit && self.finished_at.is_none() {
+                    // Transfer complete: everything acknowledged.
+                    self.finished_at = Some(ctx.now());
+                    self.cancel_rto(ctx);
+                }
+            }
+            self.try_send(ctx);
+        } else if ack + 1 == self.snd_una && self.snd_max > self.snd_una {
+            // Duplicate ACK while data is outstanding.
+            self.stats.dupacks += 1;
+            self.dupacks += 1;
+            self.cc.on_dupack();
+            if self.dupacks == self.cfg.dupack_threshold {
+                self.stats.fast_retransmits += 1;
+                self.on_loss_detected(ctx, LossKind::DupAck);
+            } else if self.dupacks > self.cfg.dupack_threshold {
+                // Reno: window inflation may have opened room.
+                self.try_send(ctx);
+            }
+        }
+        // Older ACKs carry no information for this workload; ignore.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_RTO => {
+                self.rto_armed = None;
+                if self.snd_max <= self.snd_una {
+                    return; // everything acked; stale timer
+                }
+                self.stats.timeouts += 1;
+                self.rtt.on_timeout();
+                self.dupacks = 0;
+                self.on_loss_detected(ctx, LossKind::Timeout);
+            }
+            TOKEN_PACE => {
+                self.pace_armed = false;
+                self.try_send(ctx);
+            }
+            other => unreachable!("unknown sender timer token {other}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{CcKind, IncrementRule};
+    use crate::config::{ReceiverConfig, RtoConfig};
+    use crate::receiver::TcpReceiver;
+    use td_engine::{Rate, SimDuration};
+    use td_net::{ConnId, DisciplineKind, FaultModel, NodeId, TraceEvent, World};
+
+    /// Two hosts, direct duplex link; returns (world, sender-ep, receiver-ep).
+    fn tcp_world(
+        scfg: SenderConfig,
+        rcfg: ReceiverConfig,
+        rate: Rate,
+        delay: SimDuration,
+        capacity: Option<u32>,
+    ) -> (World, td_net::EndpointId, td_net::EndpointId) {
+        let mut w = World::new(42);
+        let h0 = w.add_host("src", SimDuration::from_micros(100));
+        let h1 = w.add_host("dst", SimDuration::from_micros(100));
+        w.add_channel(
+            h0,
+            h1,
+            rate,
+            delay,
+            capacity,
+            DisciplineKind::DropTail.build(),
+            FaultModel::NONE,
+        );
+        w.add_channel(
+            h1,
+            h0,
+            rate,
+            delay,
+            None,
+            DisciplineKind::DropTail.build(),
+            FaultModel::NONE,
+        );
+        let s = w.attach(h0, h1, ConnId(0), TcpSender::boxed(scfg));
+        let r = w.attach(h1, h0, ConnId(0), TcpReceiver::boxed(rcfg));
+        w.start_at(s, SimTime::ZERO);
+        (w, s, r)
+    }
+
+    fn sender_stats(w: &World, ep: td_net::EndpointId) -> SenderStats {
+        w.endpoint(ep)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpSender>()
+            .unwrap()
+            .stats()
+    }
+
+    fn fine_rto() -> RtoConfig {
+        RtoConfig {
+            granularity: SimDuration::from_nanos(1),
+            initial: SimDuration::from_secs(3),
+            min: SimDuration::from_millis(100),
+            max: SimDuration::from_secs(64),
+        }
+    }
+
+    #[test]
+    fn slow_start_opens_exponentially() {
+        // Plenty of bandwidth and buffer: no losses; after k RTTs the
+        // window should have grown 2^k-ish. Run 2 s on a 100 ms RTT path.
+        let scfg = SenderConfig {
+            rto: fine_rto(),
+            ..SenderConfig::paper()
+        };
+        let (mut w, s, _r) = tcp_world(
+            scfg,
+            ReceiverConfig::paper(),
+            Rate::from_mbps(10),
+            SimDuration::from_millis(50),
+            None,
+        );
+        w.run_until(SimTime::from_secs(1));
+        let tx = sender_stats(&w, s);
+        assert!(tx.new_data_sent > 100, "sent {}", tx.new_data_sent);
+        assert_eq!(tx.retransmits, 0);
+        assert_eq!(tx.timeouts, 0);
+        let snd = w
+            .endpoint(s)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpSender>()
+            .unwrap();
+        assert!(snd.cwnd() > 100.0, "cwnd {}", snd.cwnd());
+    }
+
+    #[test]
+    fn first_transmission_is_one_packet() {
+        let (mut w, _s, _r) = tcp_world(
+            SenderConfig::paper(),
+            ReceiverConfig::paper(),
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            Some(20),
+        );
+        w.run_until(SimTime::from_millis(1));
+        let sends = w
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| matches!(r.ev, TraceEvent::Send { node, pkt } if node == NodeId(0) && pkt.is_data()))
+            .count();
+        assert_eq!(sends, 1, "Tahoe starts with cwnd = 1");
+    }
+
+    #[test]
+    fn fixed_window_dumps_whole_window_at_start() {
+        let (mut w, _s, _r) = tcp_world(
+            SenderConfig::fixed_window(30),
+            ReceiverConfig::paper(),
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+        );
+        w.run_until(SimTime::from_millis(1));
+        let sends = w
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| matches!(r.ev, TraceEvent::Send { node, pkt } if node == NodeId(0) && pkt.is_data()))
+            .count();
+        assert_eq!(sends, 30);
+    }
+
+    #[test]
+    fn drop_triggers_fast_retransmit_and_recovery() {
+        // Small buffer on a slow link: slow start overshoots, drops happen,
+        // fast retransmit recovers, transfer keeps making progress.
+        let scfg = SenderConfig {
+            rto: fine_rto(),
+            ..SenderConfig::paper()
+        };
+        let (mut w, s, r) = tcp_world(
+            scfg,
+            ReceiverConfig::paper(),
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            Some(5),
+        );
+        w.run_until(SimTime::from_secs(120));
+        let tx = sender_stats(&w, s);
+        assert!(tx.fast_retransmits > 0, "no fast retransmit in 120 s");
+        assert!(tx.retransmits > 0);
+        let rx = w
+            .endpoint(r)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpReceiver>()
+            .unwrap();
+        // 50 Kbps moves 12.5 pkt/s peak; require sustained progress.
+        assert!(
+            rx.stats().delivered > 1000,
+            "delivered only {}",
+            rx.stats().delivered
+        );
+        // Reliability: delivered must be contiguous (cumulative point).
+        assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+    }
+
+    #[test]
+    fn total_blackout_recovers_via_timeout() {
+        // A 100 %-lossy forward channel for a while would stall forever in
+        // a lab; here we emulate a burst drop with a 1-packet buffer and
+        // verify the timeout path fires and retransmits.
+        let scfg = SenderConfig {
+            rto: fine_rto(),
+            ..SenderConfig::paper()
+        };
+        let mut w = World::new(9);
+        let h0 = w.add_host("src", SimDuration::from_micros(100));
+        let h1 = w.add_host("dst", SimDuration::from_micros(100));
+        w.add_channel(
+            h0,
+            h1,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            DisciplineKind::DropTail.build(),
+            FaultModel::lossy(1.0), // nothing gets through
+        );
+        w.add_channel(
+            h1,
+            h0,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            DisciplineKind::DropTail.build(),
+            FaultModel::NONE,
+        );
+        let s = w.attach(h0, h1, ConnId(0), TcpSender::boxed(scfg));
+        let _r = w.attach(
+            h1,
+            h0,
+            ConnId(0),
+            TcpReceiver::boxed(ReceiverConfig::paper()),
+        );
+        w.start_at(s, SimTime::ZERO);
+        w.run_until(SimTime::from_secs(30));
+        let tx = sender_stats(&w, s);
+        assert!(tx.timeouts >= 2, "timeouts: {}", tx.timeouts);
+        assert!(tx.retransmits >= 2);
+        assert_eq!(tx.fast_retransmits, 0, "no ACKs → no dupacks");
+    }
+
+    #[test]
+    fn rto_backoff_spaces_out_retransmissions() {
+        let scfg = SenderConfig {
+            rto: RtoConfig {
+                granularity: SimDuration::from_nanos(1),
+                initial: SimDuration::from_secs(1),
+                min: SimDuration::from_millis(500),
+                max: SimDuration::from_secs(64),
+            },
+            ..SenderConfig::paper()
+        };
+        let mut w = World::new(9);
+        let h0 = w.add_host("src", SimDuration::from_micros(100));
+        let h1 = w.add_host("dst", SimDuration::from_micros(100));
+        w.add_channel(
+            h0,
+            h1,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            DisciplineKind::DropTail.build(),
+            FaultModel::lossy(1.0),
+        );
+        w.add_channel(
+            h1,
+            h0,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            DisciplineKind::DropTail.build(),
+            FaultModel::NONE,
+        );
+        let s = w.attach(h0, h1, ConnId(0), TcpSender::boxed(scfg));
+        let _ = w.attach(
+            h1,
+            h0,
+            ConnId(0),
+            TcpReceiver::boxed(ReceiverConfig::paper()),
+        );
+        w.start_at(s, SimTime::ZERO);
+        w.run_until(SimTime::from_secs(40));
+        // Retransmission times: ~1, 3, 7, 15, 31 s (doubling gaps).
+        let times: Vec<f64> = w
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.ev {
+                TraceEvent::Send { pkt, .. } if pkt.is_data() && pkt.retx => {
+                    Some(r.t.as_secs_f64())
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(times.len() >= 4, "retx times: {times:?}");
+        let gap1 = times[1] - times[0];
+        let gap2 = times[2] - times[1];
+        let gap3 = times[3] - times[2];
+        assert!(gap2 > gap1 * 1.8, "gaps: {gap1} {gap2} {gap3}");
+        assert!(gap3 > gap2 * 1.8, "gaps: {gap1} {gap2} {gap3}");
+    }
+
+    #[test]
+    fn pacing_spaces_transmissions() {
+        let scfg = SenderConfig {
+            cc: CcKind::FixedWindow { wnd: 10 },
+            pacing: Some(SimDuration::from_millis(80)),
+            rto: fine_rto(),
+            ..SenderConfig::paper()
+        };
+        let (mut w, _s, _r) = tcp_world(
+            scfg,
+            ReceiverConfig::paper(),
+            Rate::from_mbps(10),
+            SimDuration::from_millis(1),
+            None,
+        );
+        w.run_until(SimTime::from_millis(900));
+        let sends: Vec<SimTime> = w
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.ev {
+                TraceEvent::Send { node, pkt } if node == NodeId(0) && pkt.is_data() => Some(r.t),
+                _ => None,
+            })
+            .collect();
+        assert!(sends.len() >= 10);
+        for pair in sends.windows(2) {
+            let gap = pair[1].since(pair[0]);
+            assert!(
+                gap >= SimDuration::from_millis(80),
+                "paced sends too close: {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn karn_rule_no_sample_from_retransmissions() {
+        // Force a retransmission and check srtt is never polluted by the
+        // (short) retransmit RTT. With a blackout then recovery the only
+        // valid samples come from untouched segments.
+        let scfg = SenderConfig {
+            rto: fine_rto(),
+            ..SenderConfig::paper()
+        };
+        let (mut w, s, _r) = tcp_world(
+            scfg,
+            ReceiverConfig::paper(),
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            Some(3),
+        );
+        w.run_until(SimTime::from_secs(60));
+        let snd = w
+            .endpoint(s)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpSender>()
+            .unwrap();
+        // The path RTT is ≥ 100 ms (two 80 ms serializations dominate);
+        // a retransmission-ambiguity sample could look like ~1 RTT too
+        // high/low. We only assert an estimate exists and is plausible.
+        let srtt = snd.rtt().srtt().expect("must have sampled");
+        assert!(srtt >= SimDuration::from_millis(100), "srtt {srtt}");
+        assert!(tx_progress(&w, s) > 100);
+    }
+
+    fn tx_progress(w: &World, s: td_net::EndpointId) -> u64 {
+        sender_stats(w, s).acked
+    }
+
+    #[test]
+    fn reno_survives_the_same_gauntlet() {
+        let scfg = SenderConfig {
+            cc: CcKind::Reno,
+            rto: fine_rto(),
+            ..SenderConfig::paper()
+        };
+        let (mut w, s, r) = tcp_world(
+            scfg,
+            ReceiverConfig::paper(),
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            Some(5),
+        );
+        w.run_until(SimTime::from_secs(120));
+        let rx = w
+            .endpoint(r)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpReceiver>()
+            .unwrap();
+        assert!(
+            rx.stats().delivered > 1000,
+            "delivered {}",
+            rx.stats().delivered
+        );
+        assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+        assert!(sender_stats(&w, s).fast_retransmits > 0);
+    }
+
+    #[test]
+    fn original_increment_rule_also_functions() {
+        let scfg = SenderConfig {
+            cc: CcKind::Tahoe {
+                rule: IncrementRule::Original,
+            },
+            rto: fine_rto(),
+            ..SenderConfig::paper()
+        };
+        let (mut w, _s, r) = tcp_world(
+            scfg,
+            ReceiverConfig::paper(),
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            Some(5),
+        );
+        w.run_until(SimTime::from_secs(60));
+        let rx = w
+            .endpoint(r)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpReceiver>()
+            .unwrap();
+        assert!(rx.stats().delivered > 500);
+    }
+
+    #[test]
+    fn go_back_n_pullback_never_leaves_gap_unrepaired() {
+        // Long adversarial run with a tiny buffer: the cumulative ack at
+        // the receiver must track delivered data exactly (reliability).
+        let scfg = SenderConfig {
+            rto: fine_rto(),
+            ..SenderConfig::paper()
+        };
+        let (mut w, s, r) = tcp_world(
+            scfg,
+            ReceiverConfig::paper(),
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            Some(2),
+        );
+        w.run_until(SimTime::from_secs(200));
+        let rx = w
+            .endpoint(r)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpReceiver>()
+            .unwrap();
+        let snd = w
+            .endpoint(s)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpSender>()
+            .unwrap();
+        assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+        assert!(snd.outstanding() <= snd.window());
+        assert!(rx.stats().delivered > 1500);
+    }
+}
+
+#[cfg(test)]
+mod finite_tests {
+    use super::*;
+    use crate::config::ReceiverConfig;
+    use crate::receiver::TcpReceiver;
+    use td_engine::{Rate, SimDuration};
+    use td_net::{ConnId, DisciplineKind, FaultModel, World};
+
+    fn finite_world(limit: u64, capacity: Option<u32>) -> (World, td_net::EndpointId) {
+        let mut w = World::new(3);
+        let a = w.add_host("a", SimDuration::from_micros(100));
+        let b = w.add_host("b", SimDuration::from_micros(100));
+        for (x, y) in [(a, b), (b, a)] {
+            w.add_channel(
+                x,
+                y,
+                Rate::from_kbps(50),
+                SimDuration::from_millis(10),
+                capacity,
+                DisciplineKind::DropTail.build(),
+                FaultModel::NONE,
+            );
+        }
+        let cfg = SenderConfig {
+            data_limit: Some(limit),
+            ..SenderConfig::paper()
+        };
+        let s = w.attach(a, b, ConnId(0), TcpSender::boxed(cfg));
+        w.attach(b, a, ConnId(0), TcpReceiver::boxed(ReceiverConfig::paper()));
+        w.start_at(s, SimTime::ZERO);
+        (w, s)
+    }
+
+    #[test]
+    fn finite_transfer_completes_and_queue_drains() {
+        let (mut w, s) = finite_world(50, None);
+        // The event queue must drain on its own: no timers may linger.
+        w.run_to_completion();
+        let snd = w
+            .endpoint(s)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpSender>()
+            .unwrap();
+        let done = snd.finished_at().expect("transfer must finish");
+        assert_eq!(snd.stats().acked, 50);
+        assert_eq!(snd.stats().new_data_sent, 50);
+        // 50 packets at 80 ms ≈ 4 s, plus slow-start ramp.
+        assert!(
+            done > SimTime::from_secs(4) && done < SimTime::from_secs(10),
+            "done at {done}"
+        );
+    }
+
+    #[test]
+    fn finite_transfer_survives_losses() {
+        let (mut w, s) = finite_world(80, Some(4));
+        w.run_until(SimTime::from_secs(120));
+        let snd = w
+            .endpoint(s)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TcpSender>()
+            .unwrap();
+        assert!(snd.finished_at().is_some(), "transfer stalled");
+        assert_eq!(snd.stats().acked, 80);
+        assert!(snd.stats().retransmits > 0, "the 4-packet buffer must drop");
+    }
+
+    #[test]
+    fn no_data_beyond_the_limit_is_sent() {
+        let (mut w, _s) = finite_world(10, None);
+        w.run_to_completion();
+        let max_seq = w
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.ev {
+                td_net::TraceEvent::Send { pkt, .. } if pkt.is_data() => Some(pkt.seq),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(max_seq, 10);
+    }
+}

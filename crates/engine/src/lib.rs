@@ -1,0 +1,55 @@
+//! # td-engine — deterministic discrete-event simulation engine
+//!
+//! This crate is the substrate under every simulation in the
+//! `tahoe-dynamics` workspace. It provides exactly four things:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time as integer nanoseconds.
+//!   All quantities in the reproduced paper (80 ms data-packet service time,
+//!   8 ms ACK service time, 0.1 ms host processing, 10 ms / 1 s propagation)
+//!   are exactly representable, so simulations are free of floating-point
+//!   drift and replay bit-identically.
+//! * [`Rate`] — a bandwidth in bits/second with exact integer
+//!   transmission-time arithmetic.
+//! * [`EventQueue`] — a totally ordered, cancellable pending-event set.
+//!   Ties in time are broken by schedule order, which makes every run
+//!   deterministic: two events scheduled for the same instant fire in the
+//!   order they were scheduled.
+//! * [`SimRng`] — a small, seedable, deterministic random-number generator
+//!   (an `xoshiro256**` implemented locally) so experiments are reproducible
+//!   from a single `u64` seed and independent of external crate versioning.
+//!
+//! The engine deliberately has **no** notion of network, packet, or host —
+//! those live in `td-net`. It also deliberately avoids an async runtime:
+//! a discrete-event simulator is CPU-bound and needs a deterministic,
+//! single-threaded event loop, not an I/O reactor.
+//!
+//! ## Example
+//!
+//! ```
+//! use td_engine::{EventQueue, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_at(SimTime::from_millis(2), Ev::Pong);
+//! q.schedule_at(SimTime::from_millis(1), Ev::Ping);
+//! let (t1, e1) = q.pop().unwrap();
+//! assert_eq!((t1, e1), (SimTime::from_millis(1), Ev::Ping));
+//! let (t2, e2) = q.pop().unwrap();
+//! assert_eq!((t2, e2), (SimTime::from_millis(2), Ev::Pong));
+//! assert!(q.pop().is_none());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod queue;
+mod rate;
+mod rng;
+mod time;
+
+pub use queue::{EventId, EventQueue};
+pub use rate::Rate;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,332 @@
+//! The pending-event set.
+//!
+//! A binary heap keyed on `(time, sequence)`. The sequence number is a
+//! monotone counter assigned at scheduling time, so events scheduled for the
+//! same instant fire in scheduling order. This total order is what makes
+//! whole-simulation runs reproducible: there is never an "arbitrary" choice
+//! left to hash-map iteration order or heap tie-breaking.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] records the id in a small
+//! set, and cancelled entries are discarded when they surface at the top of
+//! the heap. This keeps `cancel` O(1) without requiring a decrease-key
+//! heap, and is the standard approach for simulator timer management where
+//! most timers are either cancelled long before expiry (TCP retransmit
+//! timers) or expire uncancelled.
+
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event, used to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want min-(time, seq) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, cancellable discrete-event queue.
+///
+/// The queue also tracks the simulation clock: [`EventQueue::now`] is the
+/// timestamp of the most recently popped event (initially [`SimTime::ZERO`]),
+/// and scheduling into the past is a panic — causality violations are always
+/// caller bugs.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs of pending events that have been cancelled but not yet discarded.
+    cancelled: HashSet<u64>,
+    /// Fired seqs above `fired_watermark` (events can fire out of seq order).
+    fired: HashSet<u64>,
+    /// All seqs below this have fired; keeps `fired` small.
+    fired_watermark: u64,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            fired: HashSet::new(),
+            fired_watermark: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped (dispatched) so far. Handy as a progress /
+    /// runaway-simulation guard.
+    pub fn dispatched(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of live (not-yet-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before [`EventQueue::now`].
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: crate::SimDuration, event: E) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, event)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (and is now guaranteed not to fire), `false` if it had
+    /// already fired, been cancelled, or was never scheduled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq || self.has_fired(id) {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// True if the id refers to an event that has already fired.
+    pub fn has_fired(&self, id: EventId) -> bool {
+        id.0 < self.fired_watermark || self.fired.contains(&id.0)
+    }
+
+    /// Remove and return the earliest live event, advancing the clock.
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                self.note_done(entry.seq);
+                continue; // lazily discard cancelled entry
+            }
+            debug_assert!(entry.at >= self.now, "heap produced an event in the past");
+            self.now = entry.at;
+            self.popped += 1;
+            self.note_done(entry.seq);
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                self.note_done(seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Record that `seq` has left the heap (fired or cancelled-and-discarded)
+    /// so later `cancel` calls on it report `false`. Advancing the watermark
+    /// over contiguous prefixes keeps the set's size bounded by the number
+    /// of in-flight events.
+    fn note_done(&mut self, seq: u64) {
+        self.fired.insert(seq);
+        while self.fired.remove(&self.fired_watermark) {
+            self.fired_watermark += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), "c");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(2), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_secs(1), "dead");
+        q.schedule_at(SimTime::from_secs(2), "alive");
+        assert!(q.cancel(id));
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "alive");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_secs(1), ());
+        q.pop();
+        assert!(!q.cancel(id));
+        assert!(q.has_fired(id));
+    }
+
+    #[test]
+    fn cancel_twice_returns_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_secs(1), ());
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn cancel_unknown_id_returns_false() {
+        let mut q = EventQueue::<()>::new();
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn dispatched_counts_pops() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.schedule_at(SimTime::from_secs(i + 1), ());
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.dispatched(), 5);
+    }
+
+    #[test]
+    fn fired_watermark_bounds_memory() {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule_at(SimTime::from_secs(i), ());
+        }
+        while q.pop().is_some() {}
+        // All seqs fired in order: the out-of-order set must be empty.
+        assert!(q.fired.is_empty());
+        assert_eq!(q.fired_watermark, 1000);
+    }
+
+    #[test]
+    fn cancel_then_pop_marks_done() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        q.cancel(a);
+        q.pop(); // discards `a`, delivers the 2 s event
+        assert!(!q.cancel(a));
+        assert!(q.pop().is_none());
+    }
+}

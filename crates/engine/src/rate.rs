@@ -1,0 +1,135 @@
+//! Bandwidth and exact transmission-time arithmetic.
+
+use crate::SimDuration;
+use std::fmt;
+
+/// A link bandwidth in bits per second.
+///
+/// Transmission times are computed exactly in integer arithmetic:
+/// `time = ceil(bits * 1e9 / rate)` nanoseconds, using a 128-bit
+/// intermediate so no realistic packet size or rate can overflow. For the
+/// paper's parameters the division is exact (e.g. 500 bytes at 50 Kbit/s is
+/// exactly 80 ms), so rounding never perturbs the reproduced dynamics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rate {
+    bits_per_sec: u64,
+}
+
+impl Rate {
+    /// A rate of `bps` bits per second.
+    ///
+    /// # Panics
+    /// Panics if `bps` is zero — a zero-bandwidth link can never transmit,
+    /// and allowing it would turn arithmetic errors into infinite hangs.
+    pub fn from_bps(bps: u64) -> Self {
+        assert!(bps > 0, "link rate must be positive");
+        Rate { bits_per_sec: bps }
+    }
+
+    /// A rate of `kbps` kilobits per second (decimal kilo, as in the paper's
+    /// "50 Kbps" bottleneck).
+    pub fn from_kbps(kbps: u64) -> Self {
+        Self::from_bps(kbps * 1_000)
+    }
+
+    /// A rate of `mbps` megabits per second.
+    pub fn from_mbps(mbps: u64) -> Self {
+        Self::from_bps(mbps * 1_000_000)
+    }
+
+    /// The raw rate in bits per second.
+    pub const fn bits_per_sec(self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// Exact time to serialize `bytes` onto a link of this rate, rounded up
+    /// to the nearest nanosecond.
+    pub fn transmission_time(self, bytes: u32) -> SimDuration {
+        let bits = bytes as u128 * 8;
+        let nanos = (bits * 1_000_000_000).div_ceil(self.bits_per_sec as u128);
+        debug_assert!(
+            nanos <= u64::MAX as u128,
+            "transmission time overflows u64 ns"
+        );
+        SimDuration::from_nanos(nanos as u64)
+    }
+
+    /// How many bytes this rate moves in `d` (rounded down). Used for
+    /// utilization accounting and pacing.
+    pub fn bytes_in(self, d: SimDuration) -> u64 {
+        let bits = self.bits_per_sec as u128 * d.as_nanos() as u128 / 1_000_000_000;
+        (bits / 8) as u64
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bps = self.bits_per_sec;
+        if bps.is_multiple_of(1_000_000) {
+            write!(f, "{}Mbps", bps / 1_000_000)
+        } else if bps.is_multiple_of(1_000) {
+            write!(f, "{}Kbps", bps / 1_000)
+        } else {
+            write!(f, "{bps}bps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bottleneck_times_are_exact() {
+        let bottleneck = Rate::from_kbps(50);
+        assert_eq!(
+            bottleneck.transmission_time(500),
+            SimDuration::from_millis(80)
+        );
+        assert_eq!(
+            bottleneck.transmission_time(50),
+            SimDuration::from_millis(8)
+        );
+        let host = Rate::from_mbps(10);
+        assert_eq!(host.transmission_time(500), SimDuration::from_micros(400));
+        assert_eq!(host.transmission_time(50), SimDuration::from_micros(40));
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        assert_eq!(Rate::from_kbps(50).transmission_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rounds_up_inexact_divisions() {
+        // 1 byte at 3 bps: 8/3 s = 2.666...s -> 2666666667 ns.
+        let t = Rate::from_bps(3).transmission_time(1);
+        assert_eq!(t.as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Rate::from_bps(0);
+    }
+
+    #[test]
+    fn bytes_in_inverts_transmission_time() {
+        let r = Rate::from_kbps(50);
+        let t = r.transmission_time(500);
+        assert_eq!(r.bytes_in(t), 500);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rate::from_kbps(50).to_string(), "50Kbps");
+        assert_eq!(Rate::from_mbps(10).to_string(), "10Mbps");
+        assert_eq!(Rate::from_bps(1234).to_string(), "1234bps");
+    }
+}

@@ -1,0 +1,417 @@
+//! Virtual time.
+//!
+//! Simulated time is a `u64` count of nanoseconds since the start of the
+//! simulation. 2^64 ns ≈ 584 years, far beyond any run we perform. Durations
+//! are likewise integer nanoseconds. Both types are `Copy`, totally ordered,
+//! and support the obvious arithmetic. Overflow in arithmetic is a bug in
+//! the caller and panics in debug builds (standard integer semantics); the
+//! saturating constructors used for conversions from floating point clamp
+//! instead.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An instant of simulated time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+const NANOS_PER_MILLI: u64 = 1_000_000;
+const NANOS_PER_MICRO: u64 = 1_000;
+
+impl SimTime {
+    /// The instant at which every simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinitely far
+    /// future" sentinel for watchdogs.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// An instant `nanos` nanoseconds after simulation start.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// An instant `micros` microseconds after simulation start.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * NANOS_PER_MICRO)
+    }
+
+    /// An instant `millis` milliseconds after simulation start.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * NANOS_PER_MILLI)
+    }
+
+    /// An instant `secs` seconds after simulation start.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as (possibly lossy) floating-point seconds. Only for
+    /// reporting and plotting; never used in simulation arithmetic.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// The duration since an earlier instant.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self` (time cannot run backwards).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: `earlier` is in the future"),
+        )
+    }
+
+    /// The duration since an earlier instant, or zero if `earlier` is
+    /// actually later. Useful when two timestamps may legitimately race.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// A span of `nanos` nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// A span of `micros` microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * NANOS_PER_MICRO)
+    }
+
+    /// A span of `millis` milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * NANOS_PER_MILLI)
+    }
+
+    /// A span of `secs` seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
+    }
+
+    /// A span from floating-point seconds, rounded to the nearest
+    /// nanosecond and clamped to the representable range. Intended for
+    /// configuration values only (e.g. a propagation delay of `0.01` s).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be finite and non-negative"
+        );
+        let nanos = (secs * NANOS_PER_SEC as f64).round();
+        if nanos >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(nanos as u64)
+        }
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span as floating-point seconds (reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// True if the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by an integer scale with saturation (timer backoff helper).
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+/// Integer ratio of two durations (how many whole `rhs` fit in `self`).
+impl Div<SimDuration> for SimDuration {
+    type Output = u64;
+    #[inline]
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+fn fmt_nanos(nanos: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    // Render as seconds with up to 9 fractional digits, trimming zeros.
+    let secs = nanos / NANOS_PER_SEC;
+    let frac = nanos % NANOS_PER_SEC;
+    if frac == 0 {
+        write!(f, "{secs}s")
+    } else {
+        let s = format!("{frac:09}");
+        write!(f, "{secs}.{}s", s.trim_end_matches('0'))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t=")?;
+        fmt_nanos(self.0, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nanos(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nanos(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nanos(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_nanos(1_000_000_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+    }
+
+    #[test]
+    fn paper_quantities_are_exact() {
+        // 500 B at 50 Kbit/s = 80 ms; 50 B = 8 ms; 500 B at 10 Mbit/s = 400 us.
+        assert_eq!(SimDuration::from_millis(80).as_nanos(), 80_000_000);
+        assert_eq!(SimDuration::from_millis(8).as_nanos(), 8_000_000);
+        assert_eq!(SimDuration::from_micros(400).as_nanos(), 400_000);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_millis(10);
+        let d = SimDuration::from_millis(3);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn since_panics_on_backwards_time() {
+        let _ = SimTime::from_secs(1).since(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(
+            SimTime::from_secs(1).saturating_since(SimTime::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn duration_division() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d / SimDuration::from_millis(30), 3);
+        assert_eq!(
+            d % SimDuration::from_millis(30),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(d / 4, SimDuration::from_millis(25));
+        assert_eq!(d * 2, SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(
+            SimDuration::from_secs_f64(0.01),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(SimDuration::from_secs_f64(1.0), SimDuration::from_secs(1));
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(3).to_string(), "3s");
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.5s");
+        assert_eq!(SimDuration::from_nanos(1).to_string(), "0.000000001s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDuration::from_secs(5)),
+            Some(SimTime::from_secs(5))
+        );
+    }
+
+    #[test]
+    fn saturating_mul_clamps() {
+        assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_mul(3),
+            SimDuration::from_secs(3)
+        );
+    }
+}

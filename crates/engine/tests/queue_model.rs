@@ -1,0 +1,98 @@
+//! Model-based property test for the event queue.
+//!
+//! Replays an arbitrary interleaving of schedule / cancel / pop operations
+//! against a reference model (a sorted map keyed by `(time, seq)`) and
+//! checks every observable: pop order, clock, length, cancellation results.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use td_engine::{EventId, EventQueue, SimTime};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule at now + offset.
+    Schedule(u64),
+    /// Cancel the k-th id ever issued (mod issued count).
+    Cancel(usize),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1000).prop_map(Op::Schedule),
+            (0usize..64).prop_map(Op::Cancel),
+            Just(Op::Pop),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn queue_matches_reference_model(script in ops()) {
+        let mut q = EventQueue::new();
+        // Model: (time, seq) -> payload; issued ids with their keys.
+        let mut model: BTreeMap<(SimTime, u64), u64> = BTreeMap::new();
+        let mut issued: Vec<(EventId, (SimTime, u64), bool)> = Vec::new(); // (id, key, live)
+        let mut now = SimTime::ZERO;
+        let mut seq = 0u64;
+
+        for op in script {
+            match op {
+                Op::Schedule(off) => {
+                    let at = now + td_engine::SimDuration::from_nanos(off);
+                    let id = q.schedule_at(at, seq);
+                    model.insert((at, seq), seq);
+                    issued.push((id, (at, seq), true));
+                    seq += 1;
+                }
+                Op::Cancel(k) => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let k = k % issued.len();
+                    let (id, key, live) = issued[k];
+                    let expected = live && model.contains_key(&key);
+                    let got = q.cancel(id);
+                    prop_assert_eq!(got, expected, "cancel of {:?}", key);
+                    if expected {
+                        model.remove(&key);
+                        issued[k].2 = false;
+                    }
+                }
+                Op::Pop => {
+                    let expected = model.iter().next().map(|(&k, &v)| (k, v));
+                    let got = q.pop();
+                    match (expected, got) {
+                        (None, None) => {}
+                        (Some(((at, _), v)), Some((t, e))) => {
+                            prop_assert_eq!(t, at, "pop time");
+                            prop_assert_eq!(e, v, "pop payload");
+                            now = at;
+                            let key = model.iter().next().map(|(&k, _)| k).unwrap();
+                            model.remove(&key);
+                        }
+                        (exp, got) => {
+                            return Err(TestCaseError::fail(format!(
+                                "model {exp:?} vs queue {got:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len(), "live length");
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+
+        // Drain: remaining events come out in exact model order.
+        while let Some((t, e)) = q.pop() {
+            let (&key, &v) = model.iter().next().expect("queue longer than model");
+            prop_assert_eq!((t, e), (key.0, v));
+            model.remove(&key);
+        }
+        prop_assert!(model.is_empty(), "queue shorter than model");
+    }
+}

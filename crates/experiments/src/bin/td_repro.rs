@@ -1,0 +1,189 @@
+//! `td-repro` — regenerate every figure and table of the paper.
+//!
+//! ```text
+//! td-repro list                     # show available experiment ids
+//! td-repro all [--full] [--seed N] [--out DIR]
+//! td-repro fig45 [--full] [--seed N] [--out DIR]
+//! ```
+//!
+//! Reports print to stdout (metric rows + ASCII figures). With `--out DIR`
+//! the underlying CSV series and a markdown summary are written there.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use td_experiments::registry::{find, registry, Profile};
+use td_experiments::Report;
+
+struct Args {
+    ids: Vec<String>,
+    seed: u64,
+    seeds: u64,
+    profile: Profile,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut seed = 1;
+    let mut seeds = 1;
+    let mut profile = Profile::Quick;
+    let mut out = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--full" => profile = Profile::Full,
+            "--quick" => profile = Profile::Quick,
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--seeds" => {
+                let v = argv.next().ok_or("--seeds needs a count")?;
+                seeds = v.parse().map_err(|_| format!("bad count: {v}"))?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "-h" | "--help" => {
+                ids.push("help".into());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    Ok(Args {
+        ids,
+        seed,
+        seeds,
+        profile,
+        out,
+    })
+}
+
+fn usage() {
+    println!("td-repro — reproduce Zhang/Shenker/Clark (SIGCOMM '91)");
+    println!();
+    println!("usage: td-repro <id|all|list> [--full] [--seed N] [--out DIR]");
+    println!();
+    println!("experiments:");
+    for e in registry() {
+        println!("  {:<14} {}", e.id, e.about);
+    }
+    println!();
+    println!("flags:");
+    println!("  --full      paper-scale run lengths (default: quick)");
+    println!("  --seed N    simulation seed (default 1)");
+    println!("  --seeds N   repeat each experiment over N consecutive seeds");
+    println!("  --out DIR   also write CSV data and a markdown summary");
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    if args.ids.is_empty() || args.ids.iter().any(|i| i == "help") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    if args.ids.iter().any(|i| i == "list") {
+        for e in registry() {
+            println!("{:<14} {}", e.id, e.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let entries: Vec<_> = if args.ids.iter().any(|i| i == "all") {
+        registry()
+    } else {
+        let mut picked = Vec::new();
+        for id in &args.ids {
+            match find(id) {
+                Some(e) => picked.push(e),
+                None => {
+                    eprintln!("error: unknown experiment id: {id} (try `td-repro list`)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let mut reports: Vec<Report> = Vec::new();
+    let mut any_failed = false;
+    for e in &entries {
+        let mut passes = 0;
+        for s in 0..args.seeds {
+            let seed = args.seed + s;
+            eprintln!("running {} (seed {seed}) ...", e.id);
+            let rep = e.run(seed, args.profile);
+            if args.seeds == 1 || s == 0 {
+                println!("{rep}");
+            }
+            if rep.all_ok() {
+                passes += 1;
+            } else {
+                any_failed = true;
+                eprintln!("MISMATCH in {} (seed {seed}): {:?}", rep.id, rep.failures());
+            }
+            if s == 0 {
+                reports.push(rep);
+            }
+        }
+        if args.seeds > 1 {
+            eprintln!("{}: {passes}/{} seeds fully in-band", e.id, args.seeds);
+        }
+    }
+
+    if let Some(dir) = &args.out {
+        if let Err(e) = write_outputs(dir, &reports) {
+            eprintln!("error writing outputs: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote CSVs and summary to {}", dir.display());
+    }
+
+    let ok = reports.iter().filter(|r| r.all_ok()).count();
+    eprintln!("{ok}/{} experiments fully in-band", reports.len());
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_outputs(dir: &std::path::Path, reports: &[Report]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut summary = String::from("# Reproduction summary\n\n");
+    for rep in reports {
+        summary.push_str(&format!(
+            "## {} — {}\n\n{}\n",
+            rep.id, rep.title, rep.config
+        ));
+        summary.push('\n');
+        summary.push_str(&rep.markdown_table());
+        summary.push('\n');
+        for p in &rep.plots {
+            summary.push_str("```\n");
+            summary.push_str(p);
+            summary.push_str("```\n\n");
+        }
+        for (name, contents) in &rep.csvs {
+            std::fs::write(dir.join(name), contents)?;
+        }
+        for (name, bytes) in &rep.blobs {
+            std::fs::write(dir.join(name), bytes)?;
+        }
+    }
+    std::fs::write(dir.join("SUMMARY.md"), summary)
+}

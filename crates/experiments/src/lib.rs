@@ -1,0 +1,34 @@
+//! # td-experiments — the paper's evaluation, reproduced
+//!
+//! One module per figure or in-text claim of Zhang, Shenker & Clark
+//! (SIGCOMM '91). Each module exposes a `scenario(..)` builder and a
+//! `report(..)` runner returning a [`Report`] of paper-vs-measured rows,
+//! ASCII figures, and CSV exports. The `td-repro` binary drives them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod conjecture;
+pub mod crosstraffic;
+pub mod decbit;
+pub mod delayed_ack;
+pub mod fig2;
+pub mod fig3;
+pub mod fig45;
+pub mod fig67;
+pub mod fig89;
+pub mod modes;
+pub mod multihop;
+pub mod oneway_util;
+pub mod piggyback;
+pub mod registry;
+pub mod reno;
+pub mod report;
+pub mod rtt_spread;
+pub mod scenario;
+pub mod short_flows;
+pub mod simcli;
+
+pub use report::{Report, Row};
+pub use scenario::{ConnSpec, Run, Scenario, ACK_SERVICE, DATA_SERVICE};

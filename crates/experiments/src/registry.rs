@@ -1,0 +1,179 @@
+//! Experiment registry: every reproduced figure/table, addressable by id.
+
+use crate::report::Report;
+
+/// Run profile: how much simulated time to give each experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Short runs for CI / quick checks (minutes of simulated time).
+    Quick,
+    /// Paper-scale runs (the durations behind EXPERIMENTS.md).
+    Full,
+}
+
+/// One registered experiment.
+pub struct Entry {
+    /// Id used on the `td-repro` command line (`fig2`, `abl-pacing`, …).
+    pub id: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    runner: fn(u64, Profile) -> Report,
+}
+
+impl Entry {
+    /// Execute with the given seed and profile.
+    pub fn run(&self, seed: u64, profile: Profile) -> Report {
+        (self.runner)(seed, profile)
+    }
+}
+
+fn secs(profile: Profile, quick: u64, full: u64) -> u64 {
+    match profile {
+        Profile::Quick => quick,
+        Profile::Full => full,
+    }
+}
+
+/// All experiments, in presentation order.
+pub fn registry() -> Vec<Entry> {
+    vec![
+        Entry {
+            id: "fig2",
+            about: "One-way baseline: 3 connections, tau = 1 s (Fig. 2)",
+            runner: |seed, p| crate::fig2::report(seed, secs(p, 600, 2000)),
+        },
+        Entry {
+            id: "fig3",
+            about: "Ten connections two-way, rapid queue fluctuations (Fig. 3)",
+            runner: |seed, p| crate::fig3::report(seed, secs(p, 400, 1000)),
+        },
+        Entry {
+            id: "fig45",
+            about: "1+1 two-way, small pipe: ACK-compression + out-of-phase (Figs. 4-5)",
+            runner: |seed, p| crate::fig45::report(seed, secs(p, 500, 1000)),
+        },
+        Entry {
+            id: "fig67",
+            about: "1+1 two-way, large pipe: in-phase mode (Figs. 6-7)",
+            runner: |seed, p| crate::fig67::report(seed, secs(p, 800, 2000)),
+        },
+        Entry {
+            id: "fig8",
+            about: "Fixed windows 30/25, small pipe (Fig. 8)",
+            runner: |seed, p| crate::fig89::report_fig8(seed, secs(p, 120, 400)),
+        },
+        Entry {
+            id: "fig9",
+            about: "Fixed windows 30/25, large pipe (Fig. 9)",
+            runner: |seed, p| crate::fig89::report_fig9(seed, secs(p, 300, 800)),
+        },
+        Entry {
+            id: "oneway-util",
+            about: "One-way utilization vs pipe and buffer (in-text, Sec. 3.1)",
+            runner: |seed, p| crate::oneway_util::report(seed, secs(p, 400, 800)),
+        },
+        Entry {
+            id: "conjecture",
+            about: "Zero-length-ACK fixed-window conjecture sweep (Sec. 4.3.3)",
+            runner: |seed, p| crate::conjecture::report(seed, secs(p, 200, 500)),
+        },
+        Entry {
+            id: "delayed-ack",
+            about: "Delayed-ACK option fragments clusters (Sec. 5)",
+            runner: |seed, p| crate::delayed_ack::report(seed, secs(p, 400, 1000)),
+        },
+        Entry {
+            id: "multihop",
+            about: "Four switches, 50 connections (Sec. 5 / [19])",
+            runner: |seed, p| crate::multihop::report(seed, secs(p, 300, 800)),
+        },
+        Entry {
+            id: "decbit",
+            about: "DECbit AIMD under two-way traffic (Sec. 5 / OSI testbed)",
+            runner: |seed, p| crate::decbit::report(seed, secs(p, 400, 1000)),
+        },
+        Entry {
+            id: "piggyback",
+            about: "Duplex connection with piggybacked ACKs (Sec. 2.1 third trigger)",
+            runner: |seed, p| crate::piggyback::report(seed, secs(p, 400, 1000)),
+        },
+        Entry {
+            id: "modes",
+            about: "Synchronization-mode census across start phases (Sec. 4.3.3)",
+            runner: |seed, p| crate::modes::report(seed, secs(p, 300, 600)),
+        },
+        Entry {
+            id: "rtt-spread",
+            about: "Unequal RTTs break complete clustering (Sec. 5)",
+            runner: |seed, p| crate::rtt_spread::report(seed, secs(p, 600, 1000)),
+        },
+        Entry {
+            id: "crosstraffic",
+            about: "Poisson cross-traffic vs clustering (Sec. 6 open question)",
+            runner: |seed, p| crate::crosstraffic::report(seed, secs(p, 400, 800)),
+        },
+        Entry {
+            id: "short-flows",
+            about: "FCT of 100-packet transfers under the fig45 dynamics",
+            runner: |seed, p| crate::short_flows::report(seed, secs(p, 8, 20) as usize),
+        },
+        Entry {
+            id: "reno",
+            about: "TCP Reno under two-way traffic: structural vs Tahoe-specific findings",
+            runner: |seed, p| crate::reno::report(seed, secs(p, 400, 800)),
+        },
+        Entry {
+            id: "abl-pacing",
+            about: "Ablation: paced vs nonpaced sender (Sec. 1/6 conjecture)",
+            runner: |seed, p| crate::ablations::report_pacing(seed, secs(p, 300, 800)),
+        },
+        Entry {
+            id: "abl-increment",
+            about: "Ablation: modified vs original avoidance increment (Sec. 2.1)",
+            runner: |seed, p| crate::ablations::report_increment(seed, secs(p, 300, 800)),
+        },
+        Entry {
+            id: "abl-red",
+            about: "Ablation: RED breaks drop-tail's loss synchronization",
+            runner: |seed, p| crate::ablations::report_red(seed, secs(p, 600, 1500)),
+        },
+        Entry {
+            id: "abl-discipline",
+            about: "Ablation: drop-tail vs Random Drop vs Fair Queueing",
+            runner: |seed, p| crate::ablations::report_discipline(seed, secs(p, 300, 800)),
+        },
+    ]
+}
+
+/// Look up one experiment by id.
+pub fn find(id: &str) -> Option<Entry> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids: Vec<_> = registry().iter().map(|e| e.id).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(n >= 21);
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("fig2").is_some());
+        assert!(find("nonsense").is_none());
+    }
+
+    #[test]
+    fn quick_profile_runs_an_entry() {
+        let rep = find("fig8").unwrap().run(1, Profile::Quick);
+        assert_eq!(rep.id, "fig8");
+        assert!(!rep.rows.is_empty());
+    }
+}

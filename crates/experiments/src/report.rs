@@ -1,0 +1,190 @@
+//! Uniform experiment reports.
+//!
+//! Every reproduced figure/table yields a [`Report`]: a list of
+//! paper-value-vs-measured rows, the ASCII figures, and the CSV data
+//! behind them. The `td-repro` binary prints reports; EXPERIMENTS.md is
+//! generated from them; integration tests assert on the rows.
+
+use std::fmt;
+
+/// One metric comparison.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Metric name.
+    pub metric: String,
+    /// What the paper reports (free text: "≈ 70 %", "out-of-phase", …).
+    pub paper: String,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the measured value is inside the acceptance band
+    /// (`None` for informational rows).
+    pub ok: Option<bool>,
+}
+
+/// A reproduced experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Experiment id (`fig2`, `tbl-conjecture`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Configuration summary.
+    pub config: String,
+    /// Metric rows.
+    pub rows: Vec<Row>,
+    /// Rendered ASCII figures.
+    pub plots: Vec<String>,
+    /// `(file name, contents)` CSV exports.
+    pub csvs: Vec<(String, String)>,
+    /// `(file name, bytes)` binary exports (pcap captures).
+    pub blobs: Vec<(String, Vec<u8>)>,
+}
+
+impl Report {
+    /// A new empty report.
+    pub fn new(id: &str, title: &str, config: &str) -> Self {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            config: config.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Add a checked row.
+    pub fn check(&mut self, metric: &str, paper: &str, measured: String, ok: bool) {
+        self.rows.push(Row {
+            metric: metric.to_owned(),
+            paper: paper.to_owned(),
+            measured,
+            ok: Some(ok),
+        });
+    }
+
+    /// Add an informational row (no pass/fail).
+    pub fn info(&mut self, metric: &str, paper: &str, measured: String) {
+        self.rows.push(Row {
+            metric: metric.to_owned(),
+            paper: paper.to_owned(),
+            measured,
+            ok: None,
+        });
+    }
+
+    /// True if every checked row passed.
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.ok != Some(false))
+    }
+
+    /// Names of failed checks.
+    pub fn failures(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.ok == Some(false))
+            .map(|r| r.metric.as_str())
+            .collect()
+    }
+
+    /// The rows as a markdown table (used by EXPERIMENTS.md generation).
+    pub fn markdown_table(&self) -> String {
+        let mut out = String::from("| metric | paper | measured | ok |\n|---|---|---|---|\n");
+        for r in &self.rows {
+            let ok = match r.ok {
+                Some(true) => "✓",
+                Some(false) => "✗",
+                None => "–",
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                r.metric, r.paper, r.measured, ok
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {}", self.id, self.title)?;
+        writeln!(f, "    {}", self.config)?;
+        let w = self
+            .rows
+            .iter()
+            .map(|r| r.metric.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let pw = self
+            .rows
+            .iter()
+            .map(|r| r.paper.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        writeln!(f, "    {:w$}  {:pw$}  measured", "metric", "paper")?;
+        for r in &self.rows {
+            let ok = match r.ok {
+                Some(true) => " ✓",
+                Some(false) => " ✗ MISMATCH",
+                None => "",
+            };
+            writeln!(
+                f,
+                "    {:w$}  {:pw$}  {}{}",
+                r.metric, r.paper, r.measured, ok
+            )?;
+        }
+        for p in &self.plots {
+            writeln!(f, "\n{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("figX", "a title", "cfg");
+        r.check("utilization", "~0.70", "0.68".into(), true);
+        r.check("sync mode", "out-of-phase", "in-phase".into(), false);
+        r.info("events", "-", "12345".into());
+        r
+    }
+
+    #[test]
+    fn pass_fail_accounting() {
+        let r = sample();
+        assert!(!r.all_ok());
+        assert_eq!(r.failures(), vec!["sync mode"]);
+        let mut ok = sample();
+        ok.rows[1].ok = Some(true);
+        assert!(ok.all_ok());
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let s = sample().to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("utilization"));
+        assert!(s.contains("MISMATCH"));
+        assert!(s.contains("12345"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = sample().markdown_table();
+        assert_eq!(md.lines().count(), 2 + 3);
+        assert!(md.contains("| utilization | ~0.70 | 0.68 | ✓ |"));
+        assert!(md.contains("| events | - | 12345 | – |"));
+    }
+
+    #[test]
+    fn info_rows_never_fail() {
+        let mut r = Report::new("x", "t", "c");
+        r.info("a", "b", "c".into());
+        assert!(r.all_ok());
+        assert!(r.failures().is_empty());
+    }
+}

@@ -1,0 +1,372 @@
+//! Scenario construction and execution.
+//!
+//! Every experiment in the paper is an instance of one pattern: a dumbbell
+//! (or chain) topology, some TCP connections in each direction, a run
+//! length, and a measurement window that skips the start-up transient.
+//! [`Scenario`] captures that pattern; [`Scenario::run`] executes it and
+//! returns a [`Run`] that bundles the finished [`World`] with the ids
+//! needed to ask analysis questions about it.
+
+use std::collections::BTreeMap;
+use td_analysis::{
+    clustering_coefficient, cwnd_series, departures, drop_events, queue_series, utilization_in,
+    TimeSeries,
+};
+use td_core::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+use td_engine::{Rate, SimDuration, SimRng, SimTime};
+use td_net::{dumbbell, ChannelId, ConnId, DisciplineKind, EndpointId, LinkSpec, NodeId, World};
+
+/// The paper's bottleneck data-packet service time (500 B at 50 Kbit/s).
+pub const DATA_SERVICE: SimDuration = SimDuration::from_millis(80);
+/// The paper's bottleneck ACK service time (50 B at 50 Kbit/s).
+pub const ACK_SERVICE: SimDuration = SimDuration::from_millis(8);
+
+/// One connection: a sender on one host, its receiver on the other.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnSpec {
+    /// Sender configuration.
+    pub sender: SenderConfig,
+    /// Receiver configuration.
+    pub receiver: ReceiverConfig,
+}
+
+impl ConnSpec {
+    /// The paper's standard TCP connection.
+    pub fn paper() -> Self {
+        ConnSpec {
+            sender: SenderConfig::paper(),
+            receiver: ReceiverConfig::paper(),
+        }
+    }
+
+    /// A fixed-window connection (Figures 8–9).
+    pub fn fixed(wnd: u64) -> Self {
+        ConnSpec {
+            sender: SenderConfig::fixed_window(wnd),
+            receiver: ReceiverConfig::paper(),
+        }
+    }
+}
+
+/// A complete dumbbell experiment description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// RNG seed (start jitter; Random Drop victims if selected).
+    pub seed: u64,
+    /// Bottleneck propagation delay τ (0.01 s or 1 s in the paper).
+    pub tau: SimDuration,
+    /// Bottleneck buffer in packets (`None` = infinite).
+    pub buffer: Option<u32>,
+    /// Bottleneck queue discipline (drop-tail in the paper).
+    pub discipline: DisciplineKind,
+    /// Connections sending Host-1 → Host-2.
+    pub fwd: Vec<ConnSpec>,
+    /// Connections sending Host-2 → Host-1.
+    pub rev: Vec<ConnSpec>,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Measurement starts here (start-up transient excluded).
+    pub warmup: SimDuration,
+    /// Connections start at a random time in `[0, start_jitter)`.
+    pub start_jitter: SimDuration,
+    /// DECbit-style CE marking threshold on the bottleneck channels
+    /// (`None` = no marking, the paper's setting).
+    pub mark_threshold: Option<u32>,
+    /// Record the event trace (default). Disable for throughput
+    /// benchmarking; analysis methods on [`Run`] then see an empty trace.
+    pub record_trace: bool,
+}
+
+impl Scenario {
+    /// A paper-default scenario: τ and buffer as given, drop-tail, no
+    /// connections yet, 1000 s run measured after 200 s.
+    pub fn paper(tau: SimDuration, buffer: Option<u32>) -> Self {
+        Scenario {
+            seed: 1,
+            tau,
+            buffer,
+            discipline: DisciplineKind::DropTail,
+            fwd: Vec::new(),
+            rev: Vec::new(),
+            duration: SimDuration::from_secs(1000),
+            warmup: SimDuration::from_secs(200),
+            start_jitter: SimDuration::from_secs(1),
+            mark_threshold: None,
+            record_trace: true,
+        }
+    }
+
+    /// Add `n` forward (Host-1 → Host-2) connections.
+    pub fn with_fwd(mut self, n: usize, spec: ConnSpec) -> Self {
+        self.fwd.extend(std::iter::repeat_n(spec, n));
+        self
+    }
+
+    /// Add `n` reverse (Host-2 → Host-1) connections.
+    pub fn with_rev(mut self, n: usize, spec: ConnSpec) -> Self {
+        self.rev.extend(std::iter::repeat_n(spec, n));
+        self
+    }
+
+    /// Build the world, attach the endpoints, run, and return the results.
+    pub fn run(&self) -> Run {
+        assert!(
+            self.warmup < self.duration,
+            "warmup must leave a measurement window"
+        );
+        let spec = LinkSpec {
+            rate: Rate::from_kbps(50),
+            delay: self.tau,
+            capacity: self.buffer,
+            discipline: self.discipline,
+            fault: td_net::FaultModel::NONE,
+        };
+        let mut d = dumbbell(
+            self.seed,
+            spec,
+            LinkSpec::paper_host_link(),
+            SimDuration::from_micros(100),
+        );
+        d.world
+            .set_mark_threshold(d.bottleneck_12, self.mark_threshold);
+        d.world
+            .set_mark_threshold(d.bottleneck_21, self.mark_threshold);
+        let mut rng = SimRng::new(self.seed).derive(0xA11C);
+        let mut conns = Vec::new();
+        let mut senders = BTreeMap::new();
+        let mut receivers = BTreeMap::new();
+        let mut next = 0u32;
+        let jitter_ns = self.start_jitter.as_nanos().max(1);
+        let mut attach = |world: &mut World,
+                          src: NodeId,
+                          dst: NodeId,
+                          spec: &ConnSpec,
+                          next: &mut u32,
+                          rng: &mut SimRng|
+         -> ConnId {
+            let conn = ConnId(*next);
+            *next += 1;
+            let s = world.attach(src, dst, conn, TcpSender::boxed(spec.sender));
+            let r = world.attach(dst, src, conn, TcpReceiver::boxed(spec.receiver));
+            let start = SimTime::from_nanos(rng.next_below(jitter_ns));
+            world.start_at(s, start);
+            senders.insert(conn, s);
+            receivers.insert(conn, r);
+            conn
+        };
+        let mut fwd_conns = Vec::new();
+        for spec in &self.fwd {
+            let c = attach(&mut d.world, d.host1, d.host2, spec, &mut next, &mut rng);
+            fwd_conns.push(c);
+            conns.push(c);
+        }
+        let mut rev_conns = Vec::new();
+        for spec in &self.rev {
+            let c = attach(&mut d.world, d.host2, d.host1, spec, &mut next, &mut rng);
+            rev_conns.push(c);
+            conns.push(c);
+        }
+        let t_end = SimTime::ZERO + self.duration;
+        d.world.run_until(t_end);
+        Run {
+            world: d.world,
+            host1: d.host1,
+            host2: d.host2,
+            bottleneck_12: d.bottleneck_12,
+            bottleneck_21: d.bottleneck_21,
+            fwd: fwd_conns,
+            rev: rev_conns,
+            t0: SimTime::ZERO + self.warmup,
+            t1: t_end,
+            senders,
+            receivers,
+        }
+    }
+}
+
+/// A finished scenario: the world plus everything needed to interrogate it.
+pub struct Run {
+    /// The simulated world (trace inside).
+    pub world: World,
+    /// Host-1.
+    pub host1: NodeId,
+    /// Host-2.
+    pub host2: NodeId,
+    /// Bottleneck channel Switch-1 → Switch-2 ("queue 1").
+    pub bottleneck_12: ChannelId,
+    /// Bottleneck channel Switch-2 → Switch-1 ("queue 2").
+    pub bottleneck_21: ChannelId,
+    /// Forward connections, in creation order.
+    pub fwd: Vec<ConnId>,
+    /// Reverse connections, in creation order.
+    pub rev: Vec<ConnId>,
+    /// Measurement window start.
+    pub t0: SimTime,
+    /// Measurement window end.
+    pub t1: SimTime,
+    /// Sender endpoint of each connection.
+    pub senders: BTreeMap<ConnId, EndpointId>,
+    /// Receiver endpoint of each connection.
+    pub receivers: BTreeMap<ConnId, EndpointId>,
+}
+
+impl Run {
+    /// All connections, forward then reverse.
+    pub fn conns(&self) -> Vec<ConnId> {
+        self.fwd.iter().chain(&self.rev).copied().collect()
+    }
+
+    /// Queue-length series at switch 1's bottleneck buffer.
+    pub fn queue1(&self) -> TimeSeries {
+        queue_series(self.world.trace(), self.bottleneck_12)
+    }
+
+    /// Queue-length series at switch 2's bottleneck buffer.
+    pub fn queue2(&self) -> TimeSeries {
+        queue_series(self.world.trace(), self.bottleneck_21)
+    }
+
+    /// cwnd series of one connection.
+    pub fn cwnd(&self, conn: ConnId) -> TimeSeries {
+        cwnd_series(self.world.trace(), conn)
+    }
+
+    /// Windowed utilization of the 1→2 bottleneck line.
+    pub fn util12(&self) -> f64 {
+        utilization_in(self.world.trace(), self.bottleneck_12, self.t0, self.t1)
+    }
+
+    /// Windowed utilization of the 2→1 bottleneck line.
+    pub fn util21(&self) -> f64 {
+        utilization_in(self.world.trace(), self.bottleneck_21, self.t0, self.t1)
+    }
+
+    /// All drops (both bottleneck directions) within the measurement
+    /// window.
+    pub fn drops(&self) -> Vec<td_analysis::DropEvent> {
+        drop_events(self.world.trace())
+            .into_iter()
+            .filter(|d| d.t >= self.t0 && d.t <= self.t1)
+            .collect()
+    }
+
+    /// Clustering coefficient of data-packet departures on the 1→2
+    /// bottleneck within the window (`None` if < 2 departures). Right for
+    /// one-way runs and for the many-connection partial-clustering claim;
+    /// for 1+1 two-way runs use [`Run::clustering12_all`] — only one
+    /// connection's data crosses each direction, so the data-only metric
+    /// is trivially 1.
+    pub fn clustering12(&self) -> Option<f64> {
+        self.clustering_at(self.bottleneck_12, true)
+    }
+
+    /// Clustering coefficient over *all* packets (data + ACK) departing on
+    /// the 1→2 bottleneck: measures whether connection 1's data and
+    /// connection 2's ACKs pass as contiguous clusters (the §4.2
+    /// precondition for ACK-compression) or interleaved.
+    pub fn clustering12_all(&self) -> Option<f64> {
+        self.clustering_at(self.bottleneck_12, false)
+    }
+
+    /// Clustering coefficient at any channel, optionally data-only.
+    pub fn clustering_at(&self, ch: ChannelId, data_only: bool) -> Option<f64> {
+        let deps: Vec<_> = departures(self.world.trace(), ch)
+            .into_iter()
+            .filter(|d| d.t >= self.t0 && d.t <= self.t1 && (!data_only || d.pkt.is_data()))
+            .collect();
+        clustering_coefficient(&deps)
+    }
+
+    /// The sender object of a connection.
+    pub fn sender(&self, conn: ConnId) -> &TcpSender {
+        self.world
+            .endpoint(self.senders[&conn])
+            .expect("sender attached")
+            .as_any()
+            .downcast_ref::<TcpSender>()
+            .expect("endpoint is a TcpSender")
+    }
+
+    /// The receiver object of a connection.
+    pub fn receiver(&self, conn: ConnId) -> &TcpReceiver {
+        self.world
+            .endpoint(self.receivers[&conn])
+            .expect("receiver attached")
+            .as_any()
+            .downcast_ref::<TcpReceiver>()
+            .expect("endpoint is a TcpReceiver")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_connections() {
+        let sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(3, ConnSpec::paper())
+            .with_rev(2, ConnSpec::paper());
+        assert_eq!(sc.fwd.len(), 3);
+        assert_eq!(sc.rev.len(), 2);
+    }
+
+    #[test]
+    fn short_run_produces_consistent_ids() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(1, ConnSpec::paper())
+            .with_rev(1, ConnSpec::paper());
+        sc.duration = SimDuration::from_secs(30);
+        sc.warmup = SimDuration::from_secs(5);
+        let run = sc.run();
+        assert_eq!(run.conns().len(), 2);
+        assert_eq!(run.fwd.len(), 1);
+        assert_eq!(run.rev.len(), 1);
+        // Senders/receivers resolvable and typed.
+        for c in run.conns() {
+            let _ = run.sender(c).stats();
+            let _ = run.receiver(c).stats();
+        }
+        // Both directions moved data.
+        assert!(run.util12() > 0.1);
+        assert!(run.util21() > 0.1);
+        // Queue series exist.
+        assert!(!run.queue1().is_empty());
+        assert!(!run.queue2().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_world() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(1, ConnSpec::paper())
+            .with_rev(1, ConnSpec::paper());
+        sc.duration = SimDuration::from_secs(20);
+        sc.warmup = SimDuration::from_secs(2);
+        let a = sc.run();
+        let b = sc.run();
+        assert_eq!(a.world.events_dispatched(), b.world.events_dispatched());
+        assert_eq!(a.world.trace().len(), b.world.trace().len());
+        assert_eq!(a.util12(), b.util12());
+    }
+
+    #[test]
+    fn different_seed_different_start_times() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(1, ConnSpec::paper())
+            .with_rev(1, ConnSpec::paper());
+        sc.duration = SimDuration::from_secs(20);
+        sc.warmup = SimDuration::from_secs(2);
+        let a = sc.run();
+        sc.seed = 2;
+        let b = sc.run();
+        assert_ne!(a.world.trace().len(), b.world.trace().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement window")]
+    fn warmup_must_precede_end() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20));
+        sc.warmup = sc.duration;
+        let _ = sc.run();
+    }
+}

@@ -1,0 +1,121 @@
+//! Channel fault injection.
+//!
+//! The paper's links are error-free (§2.2), so every reproduction run uses
+//! [`FaultModel::NONE`]. The model exists for robustness testing of the
+//! transport implementation — a TCP that only works on a perfect network is
+//! not a TCP — and follows the smoltcp example convention of independent
+//! per-packet drop and corrupt probabilities.
+
+use td_engine::SimRng;
+
+/// What the fault injector did to a packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The packet vanished in transit.
+    Dropped,
+    /// The packet arrived damaged; the receiving node discards it (we model
+    /// a perfect checksum).
+    Corrupted,
+}
+
+/// Independent per-packet fault probabilities for one channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultModel {
+    /// Probability a packet is lost in transit.
+    pub drop_prob: f64,
+    /// Probability a surviving packet arrives corrupted.
+    pub corrupt_prob: f64,
+}
+
+impl FaultModel {
+    /// A perfect channel (the paper's setting).
+    pub const NONE: FaultModel = FaultModel {
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+    };
+
+    /// A channel that loses packets at rate `p`.
+    pub fn lossy(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        FaultModel {
+            drop_prob: p,
+            corrupt_prob: 0.0,
+        }
+    }
+
+    /// True if no fault can ever occur (fast path: skip the RNG entirely,
+    /// keeping error-free runs independent of the fault stream).
+    pub fn is_none(&self) -> bool {
+        self.drop_prob == 0.0 && self.corrupt_prob == 0.0
+    }
+
+    /// Roll the dice for one packet.
+    pub fn apply(&self, rng: &mut SimRng) -> Option<FaultKind> {
+        if self.is_none() {
+            return None;
+        }
+        if self.drop_prob > 0.0 && rng.chance(self.drop_prob) {
+            return Some(FaultKind::Dropped);
+        }
+        if self.corrupt_prob > 0.0 && rng.chance(self.corrupt_prob) {
+            return Some(FaultKind::Corrupted);
+        }
+        None
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_faults_and_never_touches_rng() {
+        let mut rng = SimRng::new(1);
+        let before = rng.clone().next_u64();
+        for _ in 0..100 {
+            assert_eq!(FaultModel::NONE.apply(&mut rng), None);
+        }
+        assert_eq!(rng.next_u64(), before, "RNG stream was consumed");
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let mut rng = SimRng::new(2);
+        let m = FaultModel::lossy(1.0);
+        for _ in 0..100 {
+            assert_eq!(m.apply(&mut rng), Some(FaultKind::Dropped));
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut rng = SimRng::new(3);
+        let m = FaultModel::lossy(0.3);
+        let n = 100_000;
+        let drops = (0..n).filter(|_| m.apply(&mut rng).is_some()).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn corrupt_only_model() {
+        let mut rng = SimRng::new(4);
+        let m = FaultModel {
+            drop_prob: 0.0,
+            corrupt_prob: 1.0,
+        };
+        assert_eq!(m.apply(&mut rng), Some(FaultKind::Corrupted));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lossy_rejects_bad_probability() {
+        let _ = FaultModel::lossy(1.5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Event-sourced trace of a simulation run.
+//!
+//! Every observable state change in the network — packet sends, queue
+//! arrivals and departures, drops, serialization start/end, deliveries, and
+//! protocol-state samples — appends a [`TraceRecord`]. All analysis in
+//! `td-analysis` is computed *offline* from this stream, so adding a metric
+//! never perturbs the simulation, and a single run can answer every question
+//! the paper asks of it (queue-length traces, cwnd traces, utilization,
+//! drop attribution, clustering, ACK spacing).
+//!
+//! Records carry the full packet metadata (packets are `Copy`) plus, on
+//! queue transitions, the resulting buffer occupancy — so queue-length time
+//! series fall straight out of a linear scan.
+
+use crate::packet::{ConnId, NodeId, Packet};
+use crate::world::ChannelId;
+use td_engine::SimTime;
+
+/// Why a packet was discarded at a queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// The buffer was full and the discipline chose this packet as victim.
+    BufferFull,
+    /// The channel fault injector destroyed it.
+    Fault,
+    /// Active queue management (RED) discarded it before the buffer was
+    /// physically full.
+    EarlyDrop,
+}
+
+/// How a transport sender noticed a loss (paper footnote 4: duplicate
+/// acknowledgments or timer expiration).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LossKind {
+    /// Three duplicate ACKs (Tahoe fast retransmit).
+    DupAck,
+    /// Retransmission timer expired.
+    Timeout,
+}
+
+/// Protocol-level observations emitted by endpoints through
+/// [`crate::Ctx::emit`]. The network layer treats these as opaque
+/// annotations; `td-analysis` turns them into the paper's cwnd plots and
+/// loss chronologies.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ProtoEvent {
+    /// Congestion-window sample, taken whenever cwnd changes.
+    Cwnd {
+        /// Congestion window, in packets (fractional during avoidance).
+        cwnd: f64,
+        /// Slow-start threshold, in packets.
+        ssthresh: f64,
+    },
+    /// The sender detected a packet loss.
+    LossDetected {
+        /// Sequence number presumed lost.
+        seq: u64,
+        /// Detection mechanism.
+        kind: LossKind,
+    },
+    /// The sender retransmitted a segment.
+    Retransmit {
+        /// Sequence number retransmitted.
+        seq: u64,
+    },
+    /// The receiver delivered in-order data up to this sequence number.
+    InOrder {
+        /// Highest contiguous sequence number delivered.
+        seq: u64,
+    },
+}
+
+/// One thing that happened at one instant.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TraceEvent {
+    /// An endpoint handed a packet to its host for transmission.
+    Send {
+        /// Host that sent.
+        node: NodeId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A packet was accepted into a channel's buffer.
+    Enqueue {
+        /// The channel.
+        ch: ChannelId,
+        /// The packet.
+        pkt: Packet,
+        /// Buffer occupancy (waiting + in service) after acceptance.
+        qlen_after: u32,
+    },
+    /// A packet was discarded at a channel.
+    Drop {
+        /// The channel.
+        ch: ChannelId,
+        /// The discarded packet.
+        pkt: Packet,
+        /// Why.
+        reason: DropReason,
+        /// Buffer occupancy at the time of the drop.
+        qlen: u32,
+    },
+    /// A packet began serializing onto the wire.
+    TxStart {
+        /// The channel.
+        ch: ChannelId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A packet finished serializing (it leaves the buffer now and arrives
+    /// at the far end one propagation delay later).
+    TxEnd {
+        /// The channel.
+        ch: ChannelId,
+        /// The packet.
+        pkt: Packet,
+        /// Buffer occupancy after departure.
+        qlen_after: u32,
+    },
+    /// A packet was handed to a protocol endpoint (after host processing).
+    Deliver {
+        /// Receiving host.
+        node: NodeId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A protocol endpoint annotation.
+    Proto {
+        /// Connection the annotation belongs to.
+        conn: ConnId,
+        /// Host whose endpoint emitted it.
+        node: NodeId,
+        /// The observation.
+        ev: ProtoEvent,
+    },
+}
+
+/// A timestamped trace event.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub t: SimTime,
+    /// What happened.
+    pub ev: TraceEvent,
+}
+
+/// The append-only trace of a run.
+#[derive(Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// An enabled, empty trace.
+    pub fn new() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Disable recording (for benchmark runs where only the online counters
+    /// matter). Already-recorded events are kept.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record (no-op when disabled).
+    pub fn push(&mut self, t: SimTime, ev: TraceEvent) {
+        if self.enabled {
+            self.records.push(TraceRecord { t, ev });
+        }
+    }
+
+    /// All records, in time order (the simulator appends monotonically).
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drop all records, keeping the enabled flag. Used to discard warm-up
+    /// transients before the measured window of an experiment.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketId, PacketKind};
+
+    fn pkt() -> Packet {
+        Packet {
+            id: PacketId(0),
+            conn: ConnId(0),
+            kind: PacketKind::Data,
+            seq: 1,
+            size: 500,
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent_at: SimTime::ZERO,
+            retx: false,
+            ce: false,
+            ack: 0,
+        }
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut tr = Trace::new();
+        tr.push(
+            SimTime::from_secs(1),
+            TraceEvent::Send {
+                node: NodeId(0),
+                pkt: pkt(),
+            },
+        );
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.records()[0].t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::new();
+        tr.set_enabled(false);
+        tr.push(
+            SimTime::ZERO,
+            TraceEvent::Send {
+                node: NodeId(0),
+                pkt: pkt(),
+            },
+        );
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn clear_discards_but_keeps_enabled() {
+        let mut tr = Trace::new();
+        tr.push(
+            SimTime::ZERO,
+            TraceEvent::Send {
+                node: NodeId(0),
+                pkt: pkt(),
+            },
+        );
+        tr.clear();
+        assert!(tr.is_empty());
+        assert!(tr.is_enabled());
+    }
+}

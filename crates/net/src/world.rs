@@ -1,0 +1,1330 @@
+//! The simulation world: nodes, channels, endpoints, and the event loop.
+//!
+//! A [`World`] owns everything. Components never hold references to each
+//! other; they interact only by scheduling events, which keeps the
+//! borrow-checker story trivial (no `Rc<RefCell>` webs) and the execution
+//! order total. Protocol endpoints are `Box<dyn Endpoint>` values attached
+//! to hosts; when one must run, it is temporarily moved out of the world so
+//! it can receive `&mut self` alongside a [`Ctx`] over the rest of the
+//! world. Endpoint callbacks never recurse into other endpoints — all
+//! inter-endpoint communication rides packets through the event queue.
+//!
+//! ## Life of a packet
+//!
+//! 1. An endpoint calls [`Ctx::send`] → `Send` trace record → the packet is
+//!    offered to the host's uplink channel queue.
+//! 2. Channel buffer accounting: if the buffer (waiting + in-service) is at
+//!    capacity, the discipline picks a victim (`Drop` record); otherwise
+//!    `Enqueue`.
+//! 3. When the channel's transmitter is free it dequeues the next packet
+//!    (`TxStart`) and schedules `TxComplete` one serialization time later.
+//! 4. `TxComplete` (`TxEnd` record): the packet leaves the buffer; fault
+//!    injection decides whether it survives; if so an `Arrival` at the far
+//!    end is scheduled one propagation delay later.
+//! 5. `Arrival` at a switch re-enters step 2 on the routed output channel;
+//!    at a host it joins the serial processing queue and is handed to the
+//!    endpoint (`Deliver` record) after the per-packet processing delay.
+
+use crate::discipline::{Discipline, Victim};
+use crate::fault::{FaultKind, FaultModel};
+use crate::packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
+use crate::trace::{DropReason, ProtoEvent, Trace, TraceEvent};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use td_engine::{EventId, EventQueue, Rate, SimDuration, SimRng, SimTime};
+
+/// Identifies one simplex channel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChannelId(pub u32);
+
+/// Identifies an attached protocol endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EndpointId(pub u32);
+
+/// Handle to a pending endpoint timer, used to cancel it.
+#[derive(Clone, Copy, Debug)]
+pub struct TimerHandle(EventId);
+
+/// Online per-channel counters, maintained regardless of trace recording.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ChannelStats {
+    /// Total time the transmitter spent serializing packets.
+    pub busy: SimDuration,
+    /// Packets fully serialized.
+    pub tx_packets: u64,
+    /// Bytes fully serialized.
+    pub tx_bytes: u64,
+    /// Packets discarded at the buffer (any reason).
+    pub drops: u64,
+    /// Packets accepted into the buffer.
+    pub enqueued: u64,
+}
+
+/// A protocol endpoint: the transport-layer state machine living on a host.
+///
+/// `td-core` implements TCP senders and receivers against this trait. The
+/// contract: an endpoint may only interact with the world through the
+/// [`Ctx`] it is handed, and every callback runs to completion before any
+/// other event fires.
+pub trait Endpoint {
+    /// Called once, at the endpoint's scheduled start time.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// A packet addressed to this endpoint's connection was delivered
+    /// (after host processing delay).
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet);
+
+    /// A timer set via [`Ctx::set_timer`] expired. `token` is the value
+    /// given at arming time; endpoints use it to distinguish timer kinds.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+
+    /// Downcast support so experiments can extract protocol state
+    /// (e.g. final statistics) after a run.
+    fn as_any(&self) -> &dyn Any;
+}
+
+struct Channel {
+    src: NodeId,
+    dst: NodeId,
+    rate: Rate,
+    delay: SimDuration,
+    capacity: Option<u32>,
+    discipline: Box<dyn Discipline>,
+    /// The packet being serialized, with its TxStart time.
+    in_service: Option<(Packet, SimTime)>,
+    fault: FaultModel,
+    /// DECbit-style congestion marking: when `Some(k)`, an accepted packet
+    /// whose resulting buffer occupancy (waiting + in service, including
+    /// itself) exceeds `k` gets its CE bit set. `None` (the paper's
+    /// setting) never marks.
+    mark_threshold: Option<u32>,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Buffer occupancy: waiting packets plus the one in service.
+    fn occupancy(&self) -> u32 {
+        self.discipline.len() as u32 + self.in_service.is_some() as u32
+    }
+}
+
+enum NodeKind {
+    Host {
+        proc_delay: SimDuration,
+        uplink: Option<ChannelId>,
+        endpoints: HashMap<ConnId, EndpointId>,
+        proc_queue: VecDeque<Packet>,
+        proc_busy: bool,
+    },
+    Switch {
+        routes: HashMap<NodeId, ChannelId>,
+    },
+}
+
+struct Node {
+    name: String,
+    kind: NodeKind,
+}
+
+struct EpMeta {
+    host: NodeId,
+    peer: NodeId,
+    conn: ConnId,
+}
+
+#[derive(Debug)]
+enum Event {
+    TxComplete(ChannelId),
+    Arrival { ch: ChannelId, pkt: Packet },
+    HostProcess(NodeId),
+    Timer { ep: EndpointId, token: u64 },
+    Start(EndpointId),
+}
+
+/// The simulation: topology, endpoints, clock, trace.
+pub struct World {
+    queue: EventQueue<Event>,
+    nodes: Vec<Node>,
+    channels: Vec<Channel>,
+    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    ep_meta: Vec<EpMeta>,
+    trace: Trace,
+    rng: SimRng,
+    next_packet_id: u64,
+}
+
+impl World {
+    /// An empty world with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            channels: Vec::new(),
+            endpoints: Vec::new(),
+            ep_meta: Vec::new(),
+            trace: Trace::new(),
+            rng: SimRng::new(seed),
+            next_packet_id: 0,
+        }
+    }
+
+    // -- construction -------------------------------------------------------
+
+    /// Add a host with the given per-packet receive processing delay
+    /// (0.1 ms in the paper).
+    pub fn add_host(&mut self, name: &str, proc_delay: SimDuration) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            kind: NodeKind::Host {
+                proc_delay,
+                uplink: None,
+                endpoints: HashMap::new(),
+                proc_queue: VecDeque::new(),
+                proc_busy: false,
+            },
+        });
+        id
+    }
+
+    /// Add a switch (zero forwarding delay; routes filled by
+    /// [`World::compute_routes`] or [`World::set_route`]).
+    pub fn add_switch(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            kind: NodeKind::Switch {
+                routes: HashMap::new(),
+            },
+        });
+        id
+    }
+
+    /// Add one simplex channel `src → dst`. `capacity` bounds buffer
+    /// occupancy in packets (`None` = unbounded, the infinite buffers of
+    /// the fixed-window runs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_channel(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        rate: Rate,
+        delay: SimDuration,
+        capacity: Option<u32>,
+        discipline: Box<dyn Discipline>,
+        fault: FaultModel,
+    ) -> ChannelId {
+        assert!(
+            capacity.is_none_or(|c| c >= 1),
+            "a channel needs at least one buffer slot to transmit"
+        );
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Channel {
+            src,
+            dst,
+            rate,
+            delay,
+            capacity,
+            discipline,
+            in_service: None,
+            fault,
+            mark_threshold: None,
+            stats: ChannelStats::default(),
+        });
+        if let NodeKind::Host { uplink, .. } = &mut self.nodes[src.0 as usize].kind {
+            assert!(
+                uplink.is_none(),
+                "host {} already has an uplink; hosts are single-homed",
+                self.nodes[src.0 as usize].name
+            );
+            *uplink = Some(id);
+        }
+        id
+    }
+
+    /// Enable DECbit-style congestion marking on a channel: packets whose
+    /// acceptance pushes buffer occupancy above `threshold` get their CE
+    /// bit set (see [`crate::Packet::ce`]).
+    pub fn set_mark_threshold(&mut self, ch: ChannelId, threshold: Option<u32>) {
+        self.channels[ch.0 as usize].mark_threshold = threshold;
+    }
+
+    /// Install a static route: packets for destination host `dst` arriving
+    /// at switch `sw` leave on channel `ch`.
+    pub fn set_route(&mut self, sw: NodeId, dst: NodeId, ch: ChannelId) {
+        match &mut self.nodes[sw.0 as usize].kind {
+            NodeKind::Switch { routes } => {
+                routes.insert(dst, ch);
+            }
+            NodeKind::Host { .. } => panic!("set_route on a host"),
+        }
+    }
+
+    /// Compute shortest-path routes from every switch to every host by BFS
+    /// (hop count metric; ties broken by channel id for determinism).
+    pub fn compute_routes(&mut self) {
+        let hosts: Vec<NodeId> = (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| matches!(self.nodes[n.0 as usize].kind, NodeKind::Host { .. }))
+            .collect();
+        for &dst in &hosts {
+            // BFS on reversed edges from dst; dist/via arrays per node.
+            let n = self.nodes.len();
+            let mut dist = vec![u32::MAX; n];
+            let mut via: Vec<Option<ChannelId>> = vec![None; n];
+            dist[dst.0 as usize] = 0;
+            let mut frontier = VecDeque::from([dst]);
+            while let Some(u) = frontier.pop_front() {
+                // Channels in id order → deterministic tie-breaking.
+                for (ci, ch) in self.channels.iter().enumerate() {
+                    if ch.dst == u && dist[ch.src.0 as usize] == u32::MAX {
+                        dist[ch.src.0 as usize] = dist[u.0 as usize] + 1;
+                        via[ch.src.0 as usize] = Some(ChannelId(ci as u32));
+                        frontier.push_back(ch.src);
+                    }
+                }
+            }
+            for (node, via_ch) in self.nodes.iter_mut().zip(&via) {
+                if let (NodeKind::Switch { routes }, Some(ch)) = (&mut node.kind, via_ch) {
+                    routes.insert(dst, *ch);
+                }
+            }
+        }
+    }
+
+    /// Attach a protocol endpoint to `host`, speaking connection `conn`
+    /// with the endpoint on `peer`. Returns its id; schedule it with
+    /// [`World::start_at`].
+    pub fn attach(
+        &mut self,
+        host: NodeId,
+        peer: NodeId,
+        conn: ConnId,
+        ep: Box<dyn Endpoint>,
+    ) -> EndpointId {
+        let id = EndpointId(self.endpoints.len() as u32);
+        match &mut self.nodes[host.0 as usize].kind {
+            NodeKind::Host { endpoints, .. } => {
+                let prev = endpoints.insert(conn, id);
+                assert!(
+                    prev.is_none(),
+                    "host {} already has an endpoint for {conn:?}",
+                    self.nodes[host.0 as usize].name
+                );
+            }
+            NodeKind::Switch { .. } => panic!("attach endpoint to a switch"),
+        }
+        self.endpoints.push(Some(ep));
+        self.ep_meta.push(EpMeta { host, peer, conn });
+        id
+    }
+
+    /// Schedule an endpoint's `on_start` at absolute time `t`.
+    pub fn start_at(&mut self, ep: EndpointId, t: SimTime) {
+        self.queue.schedule_at(t, Event::Start(ep));
+    }
+
+    // -- running ------------------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Run until no event at or before `t_end` remains. Events scheduled
+    /// exactly at `t_end` do fire.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(t, ev);
+        }
+    }
+
+    /// Run until the event queue drains entirely.
+    pub fn run_to_completion(&mut self) {
+        while let Some((t, ev)) = self.queue.pop() {
+            self.dispatch(t, ev);
+        }
+    }
+
+    /// Like [`World::run_until`], but stop after at most `max_events`
+    /// dispatches — a guard against runaway scenarios (e.g. a
+    /// zero-duration timer loop in a buggy endpoint). Returns `true` if
+    /// the time bound was reached, `false` if the budget ran out first.
+    pub fn run_until_bounded(&mut self, t_end: SimTime, max_events: u64) -> bool {
+        let stop_at = self.queue.dispatched().saturating_add(max_events);
+        while let Some(t) = self.queue.peek_time() {
+            if t > t_end {
+                return true;
+            }
+            if self.queue.dispatched() >= stop_at {
+                return false;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(t, ev);
+        }
+        true
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.queue.dispatched()
+    }
+
+    // -- inspection ---------------------------------------------------------
+
+    /// The run's trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace access (enable/disable/clear).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Online counters for a channel.
+    pub fn channel_stats(&self, ch: ChannelId) -> ChannelStats {
+        self.channels[ch.0 as usize].stats
+    }
+
+    /// Current buffer occupancy of a channel (waiting + in service).
+    pub fn channel_occupancy(&self, ch: ChannelId) -> u32 {
+        self.channels[ch.0 as usize].occupancy()
+    }
+
+    /// Fraction of `[SimTime::ZERO, now]` the channel's transmitter was
+    /// busy. (For windowed utilization use `td-analysis` over the trace.)
+    pub fn utilization(&self, ch: ChannelId) -> f64 {
+        let now = self.now();
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        let mut busy = self.channels[ch.0 as usize].stats.busy;
+        // Count the in-progress transmission up to `now`.
+        if let Some((_, started)) = self.channels[ch.0 as usize].in_service {
+            busy += now.saturating_since(started);
+        }
+        busy.as_secs_f64() / now.as_secs_f64()
+    }
+
+    /// The endpoint object, for downcasting to its concrete type after a
+    /// run (`None` if the id is out of range).
+    pub fn endpoint(&self, ep: EndpointId) -> Option<&dyn Endpoint> {
+        self.endpoints.get(ep.0 as usize).and_then(|e| e.as_deref())
+    }
+
+    /// Node name (diagnostics).
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.nodes[n.0 as usize].name
+    }
+
+    /// Ids of all channels, in creation order.
+    pub fn channel_ids(&self) -> Vec<ChannelId> {
+        (0..self.channels.len() as u32).map(ChannelId).collect()
+    }
+
+    /// Endpoints of a channel as `(src, dst)`.
+    pub fn channel_nodes(&self, ch: ChannelId) -> (NodeId, NodeId) {
+        let c = &self.channels[ch.0 as usize];
+        (c.src, c.dst)
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn dispatch(&mut self, t: SimTime, ev: Event) {
+        match ev {
+            Event::TxComplete(ch) => self.tx_complete(t, ch),
+            Event::Arrival { ch, pkt } => self.arrival(t, ch, pkt),
+            Event::HostProcess(node) => self.host_process(t, node),
+            Event::Timer { ep, token } => self.with_endpoint(ep, |e, ctx| e.on_timer(ctx, token)),
+            Event::Start(ep) => self.with_endpoint(ep, |e, ctx| e.on_start(ctx)),
+        }
+    }
+
+    /// Offer a packet to a channel's buffer, applying capacity + discipline.
+    fn offer(&mut self, t: SimTime, ch_id: ChannelId, mut pkt: Packet) {
+        let ch = &mut self.channels[ch_id.0 as usize];
+        let occupancy = ch.occupancy();
+        // Active queue management (RED) may discard before the buffer is
+        // physically full.
+        if !ch.discipline.admit(&pkt, occupancy, &mut self.rng) {
+            ch.stats.drops += 1;
+            self.trace.push(
+                t,
+                TraceEvent::Drop {
+                    ch: ch_id,
+                    pkt,
+                    reason: DropReason::EarlyDrop,
+                    qlen: occupancy,
+                },
+            );
+            return;
+        }
+        // DECbit marking: decided on the occupancy the packet would create.
+        if ch.mark_threshold.is_some_and(|k| occupancy + 1 > k) {
+            pkt.ce = true;
+        }
+        if ch.capacity.is_some_and(|cap| occupancy >= cap) {
+            match ch.discipline.select_victim(&pkt, &mut self.rng) {
+                Victim::Arriving => {
+                    ch.stats.drops += 1;
+                    self.trace.push(
+                        t,
+                        TraceEvent::Drop {
+                            ch: ch_id,
+                            pkt,
+                            reason: DropReason::BufferFull,
+                            qlen: occupancy,
+                        },
+                    );
+                    return;
+                }
+                Victim::Queued(victim) => {
+                    ch.stats.drops += 1;
+                    ch.discipline.enqueue(pkt);
+                    ch.stats.enqueued += 1;
+                    self.trace.push(
+                        t,
+                        TraceEvent::Drop {
+                            ch: ch_id,
+                            pkt: victim,
+                            reason: DropReason::BufferFull,
+                            qlen: occupancy,
+                        },
+                    );
+                    self.trace.push(
+                        t,
+                        TraceEvent::Enqueue {
+                            ch: ch_id,
+                            pkt,
+                            qlen_after: occupancy,
+                        },
+                    );
+                }
+            }
+        } else {
+            ch.discipline.enqueue(pkt);
+            ch.stats.enqueued += 1;
+            self.trace.push(
+                t,
+                TraceEvent::Enqueue {
+                    ch: ch_id,
+                    pkt,
+                    qlen_after: occupancy + 1,
+                },
+            );
+        }
+        self.maybe_start_tx(t, ch_id);
+    }
+
+    fn maybe_start_tx(&mut self, t: SimTime, ch_id: ChannelId) {
+        let ch = &mut self.channels[ch_id.0 as usize];
+        if ch.in_service.is_some() {
+            return;
+        }
+        if let Some(pkt) = ch.discipline.dequeue() {
+            ch.in_service = Some((pkt, t));
+            let tx_time = ch.rate.transmission_time(pkt.size);
+            self.trace.push(t, TraceEvent::TxStart { ch: ch_id, pkt });
+            self.queue
+                .schedule_at(t + tx_time, Event::TxComplete(ch_id));
+        }
+    }
+
+    fn tx_complete(&mut self, t: SimTime, ch_id: ChannelId) {
+        let ch = &mut self.channels[ch_id.0 as usize];
+        let (pkt, started) = ch.in_service.take().expect("TxComplete without tx");
+        ch.stats.busy += t.since(started);
+        ch.stats.tx_packets += 1;
+        ch.stats.tx_bytes += pkt.size as u64;
+        let qlen_after = ch.occupancy();
+        let delay = ch.delay;
+        let fault = ch.fault;
+        self.trace.push(
+            t,
+            TraceEvent::TxEnd {
+                ch: ch_id,
+                pkt,
+                qlen_after,
+            },
+        );
+        match fault.apply(&mut self.rng) {
+            Some(FaultKind::Dropped) | Some(FaultKind::Corrupted) => {
+                self.trace.push(
+                    t,
+                    TraceEvent::Drop {
+                        ch: ch_id,
+                        pkt,
+                        reason: DropReason::Fault,
+                        qlen: qlen_after,
+                    },
+                );
+            }
+            None => {
+                self.queue
+                    .schedule_at(t + delay, Event::Arrival { ch: ch_id, pkt });
+            }
+        }
+        self.maybe_start_tx(t, ch_id);
+    }
+
+    fn arrival(&mut self, t: SimTime, ch_id: ChannelId, pkt: Packet) {
+        let node_id = self.channels[ch_id.0 as usize].dst;
+        match &mut self.nodes[node_id.0 as usize].kind {
+            NodeKind::Switch { routes } => {
+                let out = routes.get(&pkt.dst).copied();
+                match out {
+                    Some(out) => self.offer(t, out, pkt),
+                    None => panic!(
+                        "switch {} has no route to node {}",
+                        self.nodes[node_id.0 as usize].name, pkt.dst.0
+                    ),
+                }
+            }
+            NodeKind::Host {
+                proc_delay,
+                proc_queue,
+                proc_busy,
+                ..
+            } => {
+                debug_assert_eq!(pkt.dst, node_id, "packet delivered to wrong host");
+                proc_queue.push_back(pkt);
+                if !*proc_busy {
+                    *proc_busy = true;
+                    let d = *proc_delay;
+                    self.queue.schedule_at(t + d, Event::HostProcess(node_id));
+                }
+            }
+        }
+    }
+
+    fn host_process(&mut self, t: SimTime, node_id: NodeId) {
+        let (pkt, next_due) = match &mut self.nodes[node_id.0 as usize].kind {
+            NodeKind::Host {
+                proc_delay,
+                proc_queue,
+                proc_busy,
+                ..
+            } => {
+                let pkt = proc_queue
+                    .pop_front()
+                    .expect("HostProcess with empty queue");
+                if proc_queue.is_empty() {
+                    *proc_busy = false;
+                    (pkt, None)
+                } else {
+                    (pkt, Some(t + *proc_delay))
+                }
+            }
+            NodeKind::Switch { .. } => panic!("HostProcess on a switch"),
+        };
+        if let Some(due) = next_due {
+            self.queue.schedule_at(due, Event::HostProcess(node_id));
+        }
+        self.trace
+            .push(t, TraceEvent::Deliver { node: node_id, pkt });
+        let ep = match &self.nodes[node_id.0 as usize].kind {
+            NodeKind::Host { endpoints, .. } => *endpoints.get(&pkt.conn).unwrap_or_else(|| {
+                panic!(
+                    "host {} has no endpoint for {:?}",
+                    self.nodes[node_id.0 as usize].name, pkt.conn
+                )
+            }),
+            NodeKind::Switch { .. } => unreachable!(),
+        };
+        self.with_endpoint(ep, |e, ctx| e.on_packet(ctx, pkt));
+    }
+
+    /// Temporarily remove the endpoint so it can be called with `&mut self`
+    /// alongside a mutable context over the rest of the world.
+    fn with_endpoint<F>(&mut self, ep: EndpointId, f: F)
+    where
+        F: FnOnce(&mut dyn Endpoint, &mut Ctx<'_>),
+    {
+        let mut boxed = self.endpoints[ep.0 as usize]
+            .take()
+            .expect("endpoint re-entered");
+        {
+            let mut ctx = Ctx { world: self, ep };
+            f(boxed.as_mut(), &mut ctx);
+        }
+        self.endpoints[ep.0 as usize] = Some(boxed);
+    }
+}
+
+/// The world as seen from inside an endpoint callback.
+///
+/// Everything an endpoint may do — learn the time, send packets, arm and
+/// cancel timers, draw randomness, annotate the trace — goes through this
+/// context, so a transport implementation is testable against a scripted
+/// world and cannot reach into another endpoint's state.
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    ep: EndpointId,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.queue.now()
+    }
+
+    /// This endpoint's connection.
+    pub fn conn(&self) -> ConnId {
+        self.world.ep_meta[self.ep.0 as usize].conn
+    }
+
+    /// The host this endpoint lives on.
+    pub fn host(&self) -> NodeId {
+        self.world.ep_meta[self.ep.0 as usize].host
+    }
+
+    /// The host of the connection's other endpoint.
+    pub fn peer(&self) -> NodeId {
+        self.world.ep_meta[self.ep.0 as usize].peer
+    }
+
+    /// Build and transmit a packet to the peer. Returns its id.
+    /// The CE bit starts clear; receivers echoing congestion marks use
+    /// [`Ctx::send_marked`].
+    pub fn send(&mut self, kind: PacketKind, seq: u64, size: u32, retx: bool) -> PacketId {
+        self.send_marked(kind, seq, size, retx, false)
+    }
+
+    /// Like [`Ctx::send`], with an explicit initial CE bit (used by DECbit
+    /// receivers to echo congestion marks back to the sender).
+    pub fn send_marked(
+        &mut self,
+        kind: PacketKind,
+        seq: u64,
+        size: u32,
+        retx: bool,
+        ce: bool,
+    ) -> PacketId {
+        self.send_full(kind, seq, 0, size, retx, ce)
+    }
+
+    /// Fully explicit send: data packets on duplex connections carry a
+    /// piggybacked cumulative `ack`.
+    pub fn send_full(
+        &mut self,
+        kind: PacketKind,
+        seq: u64,
+        ack: u64,
+        size: u32,
+        retx: bool,
+        ce: bool,
+    ) -> PacketId {
+        let t = self.now();
+        let meta = &self.world.ep_meta[self.ep.0 as usize];
+        let id = PacketId(self.world.next_packet_id);
+        self.world.next_packet_id += 1;
+        let pkt = Packet {
+            id,
+            conn: meta.conn,
+            kind,
+            seq,
+            ack,
+            size,
+            src: meta.host,
+            dst: meta.peer,
+            sent_at: t,
+            retx,
+            ce,
+        };
+        let host = meta.host;
+        let uplink = match &self.world.nodes[host.0 as usize].kind {
+            NodeKind::Host { uplink, .. } => uplink.unwrap_or_else(|| {
+                panic!(
+                    "host {} has no uplink channel",
+                    self.world.nodes[host.0 as usize].name
+                )
+            }),
+            NodeKind::Switch { .. } => unreachable!("endpoints live on hosts"),
+        };
+        self.world
+            .trace
+            .push(t, TraceEvent::Send { node: host, pkt });
+        self.world.offer(t, uplink, pkt);
+        id
+    }
+
+    /// Arm a timer that calls [`Endpoint::on_timer`] with `token` after
+    /// `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        let id = self
+            .world
+            .queue
+            .schedule_in(delay, Event::Timer { ep: self.ep, token });
+        TimerHandle(id)
+    }
+
+    /// Cancel a timer. Returns `true` if it had not yet fired.
+    pub fn cancel_timer(&mut self, h: TimerHandle) -> bool {
+        self.world.queue.cancel(h.0)
+    }
+
+    /// Record a protocol annotation in the trace.
+    pub fn emit(&mut self, ev: ProtoEvent) {
+        let meta = &self.world.ep_meta[self.ep.0 as usize];
+        let (conn, node) = (meta.conn, meta.host);
+        let t = self.now();
+        self.world
+            .trace
+            .push(t, TraceEvent::Proto { conn, node, ev });
+    }
+
+    /// Deterministic randomness (shared world stream).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.world.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discipline::DropTail;
+
+    /// Sends `n` data packets back-to-back at start; counts ACKs received.
+    struct Blaster {
+        n: u64,
+        acks_seen: u64,
+        data_size: u32,
+    }
+
+    impl Endpoint for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for seq in 1..=self.n {
+                ctx.send(PacketKind::Data, seq, self.data_size, false);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+            assert!(pkt.is_ack());
+            self.acks_seen += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// ACKs every data packet.
+    struct Acker {
+        data_seen: u64,
+    }
+
+    impl Endpoint for Acker {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            assert!(pkt.is_data());
+            self.data_seen += 1;
+            ctx.send(PacketKind::Ack, pkt.seq, 50, false);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Two hosts, one duplex link: H0 <-> H1, no switches.
+    fn direct_world(
+        rate: Rate,
+        delay: SimDuration,
+        capacity: Option<u32>,
+    ) -> (World, NodeId, NodeId, ChannelId, ChannelId) {
+        let mut w = World::new(7);
+        let h0 = w.add_host("H0", SimDuration::from_micros(100));
+        let h1 = w.add_host("H1", SimDuration::from_micros(100));
+        let c01 = w.add_channel(
+            h0,
+            h1,
+            rate,
+            delay,
+            capacity,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        let c10 = w.add_channel(
+            h1,
+            h0,
+            rate,
+            delay,
+            capacity,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        (w, h0, h1, c01, c10)
+    }
+
+    #[test]
+    fn single_packet_end_to_end_latency() {
+        // 500 B at 50 Kbps = 80 ms tx; 10 ms prop; 0.1 ms host processing.
+        let (mut w, h0, h1, _c01, _c10) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 1,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _snk = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        // Data delivered at 80 ms + 10 ms + 0.1 ms = 90.1 ms; ACK (50 B = 8 ms)
+        // back at 90.1 + 8 + 10 + 0.1 = 108.2 ms. Final event is ACK delivery.
+        assert_eq!(w.now(), SimTime::from_micros(108_200));
+        let blaster = w
+            .endpoint(src)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Blaster>()
+            .unwrap();
+        assert_eq!(blaster.acks_seen, 1);
+    }
+
+    #[test]
+    fn burst_serializes_back_to_back() {
+        let (mut w, h0, h1, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 5,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _snk = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        let st = w.channel_stats(c01);
+        assert_eq!(st.tx_packets, 5);
+        assert_eq!(st.tx_bytes, 2500);
+        // Five 80 ms transmissions back to back.
+        assert_eq!(st.busy, SimDuration::from_millis(400));
+        assert_eq!(st.drops, 0);
+    }
+
+    #[test]
+    fn full_buffer_drop_tail_drops_arrivals() {
+        // Capacity 3 (waiting + in service); burst of 10 → 7 dropped.
+        let (mut w, h0, h1, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), Some(3));
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 10,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let snk = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        let st = w.channel_stats(c01);
+        assert_eq!(st.drops, 7);
+        assert_eq!(st.tx_packets, 3);
+        let acker = w
+            .endpoint(snk)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Acker>()
+            .unwrap();
+        assert_eq!(acker.data_seen, 3);
+        // Dropped seqs are the tail of the burst: 4..=10 (first 3 accepted).
+        let dropped: Vec<u64> = w
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.ev {
+                TraceEvent::Drop { pkt, .. } => Some(pkt.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dropped, vec![4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let (mut w, h0, h1, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), Some(4));
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 20,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _ = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        for r in w.trace().records() {
+            if let TraceEvent::Enqueue { ch, qlen_after, .. } = r.ev {
+                if ch == c01 {
+                    assert!(qlen_after <= 4, "occupancy {qlen_after} exceeded capacity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dumbbell_routing_delivers_through_switches() {
+        // H0 - S0 - S1 - H1.
+        let mut w = World::new(1);
+        let h0 = w.add_host("H0", SimDuration::from_micros(100));
+        let h1 = w.add_host("H1", SimDuration::from_micros(100));
+        let s0 = w.add_switch("S0");
+        let s1 = w.add_switch("S1");
+        let fast = Rate::from_mbps(10);
+        let slow = Rate::from_kbps(50);
+        let us = SimDuration::from_micros(100);
+        let ms10 = SimDuration::from_millis(10);
+        for (a, b, r, d) in [
+            (h0, s0, fast, us),
+            (s0, h0, fast, us),
+            (s0, s1, slow, ms10),
+            (s1, s0, slow, ms10),
+            (s1, h1, fast, us),
+            (h1, s1, fast, us),
+        ] {
+            w.add_channel(
+                a,
+                b,
+                r,
+                d,
+                None,
+                Box::new(DropTail::new()),
+                FaultModel::NONE,
+            );
+        }
+        w.compute_routes();
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 3,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let snk = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        let acker = w
+            .endpoint(snk)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Acker>()
+            .unwrap();
+        assert_eq!(acker.data_seen, 3);
+        let blaster = w
+            .endpoint(src)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Blaster>()
+            .unwrap();
+        assert_eq!(blaster.acks_seen, 3);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed| {
+            let (mut w, h0, h1, _, _) =
+                direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), Some(5));
+            let _ = seed; // direct_world fixes the seed; vary workload only
+            let src = w.attach(
+                h0,
+                h1,
+                ConnId(0),
+                Box::new(Blaster {
+                    n: 12,
+                    acks_seen: 0,
+                    data_size: 500,
+                }),
+            );
+            let _ = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+            w.start_at(src, SimTime::ZERO);
+            w.run_to_completion();
+            (w.now(), w.events_dispatched(), w.trace().len())
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn host_processing_is_serial() {
+        // Two packets arrive (nearly) simultaneously; deliveries must be
+        // spaced by the processing delay.
+        let (mut w, h0, h1, _, _) = direct_world(Rate::from_mbps(10), SimDuration::ZERO, None);
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 2,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _ = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        let delivers: Vec<SimTime> = w
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.ev {
+                TraceEvent::Deliver { node, pkt } if node == h1 && pkt.is_data() => Some(r.t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivers.len(), 2);
+        // Arrivals at 400 us and 800 us (tx times); processing 100 us each →
+        // deliveries at 500 us and 900 us (second arrival waits for nothing:
+        // it arrives at 800, processing starts then, done 900).
+        assert_eq!(delivers[0], SimTime::from_micros(500));
+        assert_eq!(delivers[1], SimTime::from_micros(900));
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerBox {
+            fired: Vec<u64>,
+        }
+        impl Endpoint for TimerBox {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(1), 1);
+                let dead = ctx.set_timer(SimDuration::from_secs(2), 2);
+                ctx.set_timer(SimDuration::from_secs(3), 3);
+                assert!(ctx.cancel_timer(dead));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let (mut w, h0, h1, _, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        let ep = w.attach(h0, h1, ConnId(0), Box::new(TimerBox { fired: vec![] }));
+        w.start_at(ep, SimTime::ZERO);
+        w.run_to_completion();
+        let tb = w
+            .endpoint(ep)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<TimerBox>()
+            .unwrap();
+        assert_eq!(tb.fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn fault_injection_drops_everything_at_p1() {
+        let mut w = World::new(3);
+        let h0 = w.add_host("H0", SimDuration::from_micros(100));
+        let h1 = w.add_host("H1", SimDuration::from_micros(100));
+        w.add_channel(
+            h0,
+            h1,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::lossy(1.0),
+        );
+        w.add_channel(
+            h1,
+            h0,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 5,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let snk = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        let acker = w
+            .endpoint(snk)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Acker>()
+            .unwrap();
+        assert_eq!(acker.data_seen, 0, "perfectly lossy channel delivered data");
+        let faults = w
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.ev,
+                    TraceEvent::Drop {
+                        reason: DropReason::Fault,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(faults, 5);
+    }
+
+    #[test]
+    fn utilization_of_saturated_channel_is_one() {
+        let (mut w, h0, h1, c01, _) = direct_world(Rate::from_kbps(50), SimDuration::ZERO, None);
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 10,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _ = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_until(SimTime::from_millis(800)); // exactly 10 * 80 ms
+        let u = w.utilization(c01);
+        assert!(u > 0.99, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let mut w = World::new(1);
+        let h0 = w.add_host("H0", SimDuration::from_micros(100));
+        let h1 = w.add_host("H1", SimDuration::from_micros(100));
+        let s0 = w.add_switch("S0");
+        w.add_channel(
+            h0,
+            s0,
+            Rate::from_mbps(10),
+            SimDuration::from_micros(100),
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        // no route installed on s0, no channel to h1
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 1,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+    }
+
+    #[test]
+    fn zero_size_packets_serialize_instantly() {
+        let (mut w, h0, h1, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 3,
+                acks_seen: 0,
+                data_size: 0,
+            }),
+        );
+        let _ = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        assert_eq!(w.channel_stats(c01).busy, SimDuration::ZERO);
+        assert_eq!(w.channel_stats(c01).tx_packets, 3);
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::discipline::DropTail;
+
+    /// An endpoint that reschedules itself forever with zero delay.
+    struct Spinner;
+    impl Endpoint for Spinner {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn bounded_run_stops_a_spinner() {
+        let mut w = World::new(1);
+        let h0 = w.add_host("a", SimDuration::ZERO);
+        let h1 = w.add_host("b", SimDuration::ZERO);
+        w.add_channel(
+            h0,
+            h1,
+            Rate::from_kbps(50),
+            SimDuration::ZERO,
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        let ep = w.attach(h0, h1, ConnId(0), Box::new(Spinner));
+        w.start_at(ep, SimTime::ZERO);
+        let finished = w.run_until_bounded(SimTime::from_secs(1), 10_000);
+        assert!(!finished, "spinner must exhaust the budget");
+        assert!(w.events_dispatched() >= 10_000);
+        assert!(w.events_dispatched() < 10_100, "stops promptly");
+    }
+
+    #[test]
+    fn bounded_run_reaches_time_bound_normally() {
+        let mut w = World::new(1);
+        let h0 = w.add_host("a", SimDuration::ZERO);
+        let h1 = w.add_host("b", SimDuration::ZERO);
+        w.add_channel(
+            h0,
+            h1,
+            Rate::from_kbps(50),
+            SimDuration::ZERO,
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        let finished = w.run_until_bounded(SimTime::from_secs(1), 10);
+        assert!(finished, "empty world reaches the bound trivially");
+    }
+}

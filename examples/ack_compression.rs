@@ -1,0 +1,96 @@
+//! ACK-compression, dissected (paper §4.2).
+//!
+//! Reproduces the fixed-window idealization of Figure 8 — two connections
+//! with windows frozen at 30 and 25 packets, infinite buffers — and walks
+//! through the five-phase cycle the paper narrates, verifying each phase's
+//! signature in the measured trace:
+//!
+//! 1. steady cross-flow: both queues roughly constant;
+//! 2. queue 2 empties as connection 1's ACKs drain at ACK speed;
+//! 3. connection 2's whole window sits in queue 1 as ACKs;
+//! 4. those ACKs burst out of queue 1 at ACK speed → data bursts into
+//!    queue 2;
+//! 5. back to steady cross-flow.
+//!
+//! ```sh
+//! cargo run --release --example ack_compression
+//! ```
+
+use tahoe_dynamics::analysis::plot::Plot;
+use tahoe_dynamics::analysis::{ack_spacing, deliveries};
+use tahoe_dynamics::engine::SimDuration;
+use tahoe_dynamics::experiments::{fig89, DATA_SERVICE};
+
+fn main() {
+    println!("fixed windows W1 = 30, W2 = 25; infinite buffers; tau = 0.01 s\n");
+    let run = fig89::scenario(1, 120, SimDuration::from_millis(10), 30, 25).run();
+
+    let q1 = run.queue1();
+    let q2 = run.queue2();
+
+    println!("the paper's phase analysis, verified:");
+    let q1max = q1.max_in(run.t0, run.t1).unwrap();
+    println!(
+        "  queue 1 peak = {:.0} packets  (paper: 55 = W1 + W2 — all of connection 2's",
+        q1max
+    );
+    println!("    window piles into queue 1 as ACKs behind connection 1's data)");
+    let q2max = q2.max_in(run.t0, run.t1).unwrap();
+    println!("  queue 2 peak = {q2max:.0} packets  (paper: 23)");
+    println!(
+        "  utilization: line 1->2 = {:.1} %, line 2->1 = {:.1} %",
+        run.util12() * 100.0,
+        run.util21() * 100.0
+    );
+    println!("    (paper: one line saturated, the other at 86 % — W1 > W2 + 2P)");
+
+    // ACK spacing at host 1: compression means gaps collapse to ~8 ms.
+    let acks: Vec<_> = deliveries(run.world.trace(), run.host1, run.fwd[0], true)
+        .into_iter()
+        .filter(|d| d.t >= run.t0)
+        .collect();
+    let sp = ack_spacing(&acks, DATA_SERVICE).expect("ACK stream");
+    println!(
+        "  ACK gaps at the source: p10 = {:.1} ms (the 8 ms ACK service time),",
+        sp.p10_gap_s * 1000.0
+    );
+    println!(
+        "    {:.0} % of gaps below the 80 ms data service time — the clock is broken",
+        sp.compressed_fraction * 100.0
+    );
+
+    let w0 = run.t0;
+    let w1 = run.t0 + SimDuration::from_secs(20);
+    println!();
+    println!(
+        "{}",
+        Plot::new(
+            "queue 1: plateaus at 55 and 25 (paper Fig. 8 top)",
+            w0,
+            w1,
+            100,
+            12
+        )
+        .y_max(60.0)
+        .series(&q1, '#')
+        .render()
+    );
+    println!(
+        "{}",
+        Plot::new(
+            "queue 2: plateaus at 23 and ~0 (paper Fig. 8 bottom)",
+            w0,
+            w1,
+            100,
+            12
+        )
+        .y_max(60.0)
+        .series(&q2, '#')
+        .render()
+    );
+
+    println!("why: a cluster of ACKs crossing a nonempty queue leaves it spaced by the");
+    println!("ACK service time (8 ms), not the data service time (80 ms). The source");
+    println!("answers each ACK instantly, so a 10x-compressed ACK cluster becomes a");
+    println!("10x-overspeed data burst — the square wave.");
+}

@@ -1,0 +1,194 @@
+//! Cross-crate conservation and sanity invariants.
+//!
+//! Property-based tests over randomized scenarios: whatever the topology,
+//! workload, and timing, packets must be conserved, buffers must respect
+//! their capacity, and the transport must stay reliable.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tahoe_dynamics::engine::SimDuration;
+use tahoe_dynamics::experiments::{ConnSpec, Scenario};
+use tahoe_dynamics::net::{PacketId, TraceEvent};
+use tahoe_dynamics::tcp::{ReceiverConfig, SenderConfig};
+
+/// Build a randomized small scenario.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        1u64..1000,                                         // seed
+        1u64..2000,                                         // tau in ms
+        prop_oneof![Just(None), (2u32..40).prop_map(Some)], // buffer
+        1usize..4,                                          // fwd conns
+        0usize..4,                                          // rev conns
+        20u64..90,                                          // duration s
+        prop::bool::ANY,                                    // fixed windows?
+    )
+        .prop_map(|(seed, tau_ms, buffer, nf, nr, dur, fixed)| {
+            let spec = if fixed {
+                ConnSpec::fixed(5 + seed % 20)
+            } else {
+                ConnSpec::paper()
+            };
+            let mut sc = Scenario::paper(SimDuration::from_millis(tau_ms), buffer)
+                .with_fwd(nf, spec)
+                .with_rev(nr, spec);
+            sc.seed = seed;
+            sc.duration = SimDuration::from_secs(dur);
+            sc.warmup = SimDuration::from_secs(dur / 4);
+            sc
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every packet ever sent is eventually delivered, dropped, or still
+    /// in flight — nothing is duplicated or vanishes.
+    #[test]
+    fn packets_are_conserved(sc in scenario_strategy()) {
+        let run = sc.run();
+        let mut state: HashMap<PacketId, &'static str> = HashMap::new();
+        for r in run.world.trace().records() {
+            match r.ev {
+                TraceEvent::Send { pkt, .. } => {
+                    let prev = state.insert(pkt.id, "inflight");
+                    prop_assert!(prev.is_none(), "packet id reused: {:?}", pkt.id);
+                }
+                TraceEvent::Drop { pkt, .. } => {
+                    let prev = state.insert(pkt.id, "dropped");
+                    prop_assert_eq!(prev, Some("inflight"), "drop of non-inflight packet");
+                }
+                TraceEvent::Deliver { pkt, .. } => {
+                    let prev = state.insert(pkt.id, "delivered");
+                    prop_assert_eq!(prev, Some("inflight"), "delivery of non-inflight packet");
+                }
+                _ => {}
+            }
+        }
+        // Every state is one of the three; counts add up by construction.
+        let delivered = state.values().filter(|&&s| s == "delivered").count();
+        let total = state.len();
+        prop_assert!(total > 0, "nothing was ever sent");
+        prop_assert!(delivered > 0, "nothing was ever delivered");
+    }
+
+    /// Buffer occupancy never exceeds the configured capacity.
+    #[test]
+    fn capacity_is_respected(sc in scenario_strategy()) {
+        let cap = sc.buffer;
+        let run = sc.run();
+        if let Some(cap) = cap {
+            for r in run.world.trace().records() {
+                if let TraceEvent::Enqueue { ch, qlen_after, .. } = r.ev {
+                    if ch == run.bottleneck_12 || ch == run.bottleneck_21 {
+                        prop_assert!(
+                            qlen_after <= cap,
+                            "occupancy {qlen_after} > capacity {cap}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The receiver's cumulative point equals its delivered count:
+    /// delivery is contiguous and exactly-once (transport reliability).
+    #[test]
+    fn transport_is_reliable(sc in scenario_strategy()) {
+        let run = sc.run();
+        for conn in run.conns() {
+            let rx = run.receiver(conn);
+            prop_assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+        }
+    }
+
+    /// Flight size is window-bounded — except transiently after a loss,
+    /// where Tahoe collapses the window to 1 while the old flight is
+    /// still draining (BSD restores `snd_nxt` after fast retransmit).
+    #[test]
+    fn flight_never_exceeds_window(sc in scenario_strategy()) {
+        let run = sc.run();
+        for conn in run.conns() {
+            let tx = run.sender(conn);
+            let st = tx.stats();
+            let in_recovery = st.fast_retransmits + st.timeouts > 0;
+            prop_assert!(
+                tx.outstanding() <= tx.window() || in_recovery,
+                "conn {:?}: {} in flight > window {} with no loss ever detected",
+                conn,
+                tx.outstanding(),
+                tx.window()
+            );
+            // Even in recovery the flight is bounded by the configured
+            // maximum window.
+            prop_assert!(tx.outstanding() <= 1000);
+        }
+    }
+
+    /// Utilization is a fraction.
+    #[test]
+    fn utilization_is_a_fraction(sc in scenario_strategy()) {
+        let run = sc.run();
+        for u in [run.util12(), run.util21()] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+    }
+
+    /// Identical scenarios replay bit-identically.
+    #[test]
+    fn runs_are_deterministic(sc in scenario_strategy()) {
+        let a = sc.run();
+        let b = sc.run();
+        prop_assert_eq!(a.world.events_dispatched(), b.world.events_dispatched());
+        prop_assert_eq!(a.world.trace().len(), b.world.trace().len());
+        // Spot-check the full event streams match, not just the lengths.
+        for (x, y) in a
+            .world
+            .trace()
+            .records()
+            .iter()
+            .zip(b.world.trace().records())
+        {
+            prop_assert_eq!(x, y);
+        }
+    }
+}
+
+/// Sequence numbers delivered in order per connection (non-proptest: one
+/// adversarial deterministic case with heavy loss).
+#[test]
+fn in_order_delivery_under_heavy_congestion() {
+    let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(3))
+        .with_fwd(2, ConnSpec::paper())
+        .with_rev(2, ConnSpec::paper());
+    sc.duration = SimDuration::from_secs(200);
+    sc.warmup = SimDuration::from_secs(40);
+    let run = sc.run();
+    let drops = run.drops();
+    assert!(!drops.is_empty(), "a 3-packet buffer must drop");
+    for conn in run.conns() {
+        let rx = run.receiver(conn);
+        assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+        assert!(rx.stats().delivered > 100, "conn {conn:?} starved");
+    }
+}
+
+/// Zero-size ACKs and fixed windows: the conservation laws hold in the
+/// idealized conjecture configuration too.
+#[test]
+fn conservation_with_zero_size_acks() {
+    let spec = ConnSpec {
+        sender: SenderConfig::fixed_window(20),
+        receiver: ReceiverConfig::zero_ack(),
+    };
+    let mut sc = Scenario::paper(SimDuration::from_secs(1), None)
+        .with_fwd(1, spec)
+        .with_rev(1, spec);
+    sc.duration = SimDuration::from_secs(100);
+    sc.warmup = SimDuration::from_secs(20);
+    let run = sc.run();
+    assert!(run.drops().is_empty(), "infinite buffers cannot drop");
+    for conn in run.conns() {
+        let rx = run.receiver(conn);
+        assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+    }
+}

@@ -1,0 +1,178 @@
+//! Conservation and reachability on randomized topologies.
+//!
+//! The paper's configurations are dumbbells and chains; the substrate
+//! must be correct on *any* connected graph. Generate random trees of
+//! switches with hosts hanging off random switches, wire random TCP
+//! connections across them, and assert the global laws.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tahoe_dynamics::engine::{Rate, SimDuration, SimTime};
+use tahoe_dynamics::net::{
+    ConnId, DisciplineKind, FaultModel, NodeId, PacketId, TraceEvent, World,
+};
+use tahoe_dynamics::tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+
+#[derive(Debug, Clone)]
+struct Topo {
+    seed: u64,
+    n_switches: usize,
+    /// parent[i] for switch i ≥ 1: attaches to switch parent[i] < i
+    /// (yields a random tree).
+    parents: Vec<usize>,
+    /// host i hangs off switches[host_at[i]].
+    host_at: Vec<usize>,
+    /// connections as (src_host, dst_host) index pairs.
+    flows: Vec<(usize, usize)>,
+    secs: u64,
+}
+
+fn topo() -> impl Strategy<Value = Topo> {
+    (2usize..6, 1u64..10_000).prop_flat_map(|(n_switches, seed)| {
+        let parents = proptest::collection::vec(0usize..1000, n_switches - 1);
+        let hosts = proptest::collection::vec(0usize..n_switches, 2..6);
+        (Just(n_switches), Just(seed), parents, hosts, 20u64..50).prop_flat_map(
+            |(n_switches, seed, parents, host_at, secs)| {
+                let n_hosts = host_at.len();
+                let flows = proptest::collection::vec((0usize..n_hosts, 0usize..n_hosts), 1..5);
+                (
+                    Just(n_switches),
+                    Just(seed),
+                    Just(parents),
+                    Just(host_at),
+                    Just(secs),
+                    flows,
+                )
+                    .prop_map(
+                        |(n_switches, seed, parents, host_at, secs, flows)| Topo {
+                            seed,
+                            n_switches,
+                            parents: parents
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &p)| p % (i + 1))
+                                .collect(),
+                            host_at,
+                            flows,
+                            secs,
+                        },
+                    )
+            },
+        )
+    })
+}
+
+fn build(t: &Topo) -> (World, Vec<(ConnId, tahoe_dynamics::net::EndpointId)>) {
+    let mut w = World::new(t.seed);
+    let switches: Vec<NodeId> = (0..t.n_switches)
+        .map(|i| w.add_switch(&format!("s{i}")))
+        .collect();
+    let hosts: Vec<NodeId> = t
+        .host_at
+        .iter()
+        .enumerate()
+        .map(|(i, _)| w.add_host(&format!("h{i}"), SimDuration::from_micros(100)))
+        .collect();
+    let link = |w: &mut World, a: NodeId, b: NodeId, slow: bool| {
+        let rate = if slow {
+            Rate::from_kbps(50)
+        } else {
+            Rate::from_mbps(10)
+        };
+        for (x, y) in [(a, b), (b, a)] {
+            w.add_channel(
+                x,
+                y,
+                rate,
+                SimDuration::from_millis(5),
+                Some(15),
+                DisciplineKind::DropTail.build(),
+                FaultModel::NONE,
+            );
+        }
+    };
+    // Tree of switches (slow trunks → congestion happens).
+    for (i, &p) in t.parents.iter().enumerate() {
+        link(&mut w, switches[i + 1], switches[p], true);
+    }
+    for (i, &at) in t.host_at.iter().enumerate() {
+        link(&mut w, hosts[i], switches[at], false);
+    }
+    w.compute_routes();
+
+    let mut eps = Vec::new();
+    for (k, &(a, b)) in t.flows.iter().enumerate() {
+        if a == b {
+            continue; // self-flows are meaningless
+        }
+        let conn = ConnId(k as u32);
+        let s = w.attach(
+            hosts[a],
+            hosts[b],
+            conn,
+            TcpSender::boxed(SenderConfig::paper()),
+        );
+        let r = w.attach(
+            hosts[b],
+            hosts[a],
+            conn,
+            TcpReceiver::boxed(ReceiverConfig::paper()),
+        );
+        w.start_at(s, SimTime::from_millis(k as u64 * 113));
+        eps.push((conn, r));
+    }
+    (w, eps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_tree_topologies_conserve_and_deliver(t in topo()) {
+        let (mut w, receivers) = build(&t);
+        if receivers.is_empty() {
+            return Ok(()); // all flows were self-flows
+        }
+        w.run_until(SimTime::from_secs(t.secs));
+
+        // Packet conservation across the whole graph.
+        let mut state: HashMap<PacketId, u8> = HashMap::new();
+        for r in w.trace().records() {
+            match r.ev {
+                TraceEvent::Send { pkt, .. } => {
+                    prop_assert!(state.insert(pkt.id, 0).is_none());
+                }
+                TraceEvent::Drop { pkt, .. } => {
+                    prop_assert_eq!(state.insert(pkt.id, 1), Some(0));
+                }
+                TraceEvent::Deliver { pkt, .. } => {
+                    prop_assert_eq!(state.insert(pkt.id, 2), Some(0));
+                }
+                _ => {}
+            }
+        }
+
+        // Every connection delivered a contiguous stream and made progress.
+        for &(conn, rep) in &receivers {
+            let rx = w
+                .endpoint(rep)
+                .unwrap()
+                .as_any()
+                .downcast_ref::<TcpReceiver>()
+                .unwrap();
+            prop_assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+            prop_assert!(
+                rx.stats().delivered > 0,
+                "{conn:?} delivered nothing in {} s on {t:?}",
+                t.secs
+            );
+        }
+
+        // No channel buffer ever exceeded its 15-packet capacity.
+        for r in w.trace().records() {
+            if let TraceEvent::Enqueue { qlen_after, .. } = r.ev {
+                prop_assert!(qlen_after <= 15);
+            }
+        }
+    }
+}
