@@ -1,8 +1,8 @@
 //! Ablation benches: regenerate the three design-ablation tables and time
 //! their kernels (pacing, increment rule, gateway discipline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use td_bench::Harness;
 use td_core::{CcKind, IncrementRule, ReceiverConfig, SenderConfig};
 use td_engine::SimDuration;
 use td_experiments::registry::{find, Profile};
@@ -29,7 +29,7 @@ fn kernel(discipline: DisciplineKind, sender: SenderConfig) -> u64 {
     sc.run().world.events_dispatched()
 }
 
-fn ablations(c: &mut Criterion) {
+fn ablations(c: &mut Harness) {
     print_report_once("abl-pacing");
     c.bench_function("ablation/nonpaced", |b| {
         b.iter(|| black_box(kernel(DisciplineKind::DropTail, SenderConfig::paper())));
@@ -78,9 +78,8 @@ fn ablations(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = ablations
+fn main() {
+    let mut c = Harness::new();
+    ablations(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

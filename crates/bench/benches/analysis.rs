@@ -2,16 +2,16 @@
 //! realistic trace. One paper-scale fig45 run (~hundreds of thousands of
 //! trace records) is built once; each metric is timed against it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use td_analysis::sync::classify_sync;
 use td_analysis::{
     ack_spacing, clustering_coefficient, compression, cwnd_series, deliveries, departures,
     drop_events, queue_series, sojourns, utilization_in,
 };
+use td_bench::Harness;
 use td_experiments::{fig45, DATA_SERVICE};
 
-fn analysis(c: &mut Criterion) {
+fn analysis(c: &mut Harness) {
     // One shared run; building it is not part of any measurement.
     let run = fig45::scenario(1, 300, 20).run();
     let trace = run.world.trace();
@@ -68,9 +68,8 @@ fn analysis(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = analysis
+fn main() {
+    let mut c = Harness::new();
+    analysis(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

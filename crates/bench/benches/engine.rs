@@ -1,12 +1,12 @@
 //! Simulator-core microbenchmarks: event queue, RNG, and the end-to-end
 //! event-processing rate of a saturated dumbbell.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use td_bench::Harness;
 use td_engine::{EventQueue, SimDuration, SimRng, SimTime};
 use td_experiments::{ConnSpec, Scenario};
 
-fn event_queue(c: &mut Criterion) {
+fn event_queue(c: &mut Harness) {
     c.bench_function("engine/event-queue push-pop 10k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
@@ -41,7 +41,7 @@ fn event_queue(c: &mut Criterion) {
     });
 }
 
-fn rng(c: &mut Criterion) {
+fn rng(c: &mut Harness) {
     c.bench_function("engine/rng next_u64 x1k", |b| {
         let mut r = SimRng::new(42);
         b.iter(|| {
@@ -64,7 +64,7 @@ fn rng(c: &mut Criterion) {
     });
 }
 
-fn end_to_end(c: &mut Criterion) {
+fn end_to_end(c: &mut Harness) {
     // Events per second of wall time on a busy two-way scenario — the
     // number that determines how long paper-scale runs take.
     for trace_on in [true, false] {
@@ -86,9 +86,10 @@ fn end_to_end(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = event_queue, rng, end_to_end
+fn main() {
+    let mut c = Harness::new();
+    event_queue(&mut c);
+    rng(&mut c);
+    end_to_end(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

@@ -9,8 +9,8 @@
 //!    (tens of simulated seconds), giving a stable simulator-throughput
 //!    number per configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use td_bench::Harness;
 use td_engine::SimDuration;
 use td_experiments::registry::{find, Profile};
 use td_experiments::{conjecture, decbit, fig2, fig3, fig45, fig67, fig89, multihop, oneway_util};
@@ -21,14 +21,14 @@ fn print_report_once(id: &str) {
     assert!(rep.all_ok(), "{id} out of band: {:?}", rep.failures());
 }
 
-fn bench_one(c: &mut Criterion, id: &str, mut kernel: impl FnMut() -> u64) {
+fn bench_one(c: &mut Harness, id: &str, mut kernel: impl FnMut() -> u64) {
     print_report_once(id);
     c.bench_function(&format!("repro/{id}"), |b| {
         b.iter(|| black_box(kernel()));
     });
 }
 
-fn figures(c: &mut Criterion) {
+fn figures(c: &mut Harness) {
     bench_one(c, "fig2", || {
         let mut sc = fig2::scenario(1, 120);
         sc.duration = SimDuration::from_secs(120);
@@ -90,9 +90,8 @@ fn figures(c: &mut Criterion) {
     print_report_once("modes");
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figures
+fn main() {
+    let mut c = Harness::new();
+    figures(&mut c);
+    c.finish();
 }
-criterion_main!(benches);

@@ -1,1 +1,203 @@
-//! Criterion benchmark crate (bench targets under `benches/`).
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The workspace builds fully offline, so the bench targets (declared
+//! with `harness = false`) run on this small std-only harness. Each bench
+//! binary constructs a [`Harness`], registers closures with
+//! [`Harness::bench_function`] (the registration shape deliberately
+//! mirrors the familiar `c.bench_function(name, |b| b.iter(...))` idiom),
+//! and calls [`Harness::finish`] to print a summary table.
+//!
+//! Timing model: each benchmark is calibrated once, then measured for a
+//! fixed number of samples; fast bodies are batched so that every sample
+//! spans at least a few milliseconds of wall clock. Reported numbers are
+//! per-iteration min / median / mean.
+//!
+//! Knobs:
+//! * `TD_BENCH_SAMPLES` — samples per benchmark (default 10);
+//! * a non-flag CLI argument — substring filter on benchmark names
+//!   (mirrors `cargo bench -- <filter>`).
+
+use std::time::{Duration, Instant};
+
+/// Target minimum wall-clock span of one sample; bodies faster than this
+/// are batched.
+const SAMPLE_FLOOR: Duration = Duration::from_millis(5);
+
+/// Handed to each benchmark closure; call [`Bencher::iter`] exactly once
+/// with the body to measure.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`, batching fast bodies. `std::hint::black_box` the
+    /// inputs/outputs inside `f` yourself where it matters.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm up and calibrate the batch size on a single invocation.
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        let iters: u32 = if once >= SAMPLE_FLOOR {
+            1
+        } else {
+            ((SAMPLE_FLOOR.as_nanos() / once.as_nanos()) + 1).min(1 << 24) as u32
+        };
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters);
+        }
+    }
+}
+
+/// One benchmark's aggregated result.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Benchmark name as registered.
+    pub name: String,
+    /// Fastest sample (per iteration).
+    pub min: Duration,
+    /// Median sample (per iteration).
+    pub median: Duration,
+    /// Mean over all samples (per iteration).
+    pub mean: Duration,
+}
+
+/// The benchmark registry and runner.
+pub struct Harness {
+    sample_size: usize,
+    filter: Option<String>,
+    results: Vec<Summary>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness configured from the environment (see module docs).
+    pub fn new() -> Self {
+        let sample_size = std::env::var("TD_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Harness {
+            sample_size,
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the per-benchmark sample count (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark (skipped when a filter is set and doesn't match)
+    /// and print its line immediately.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filt) = &self.filter {
+            if !name.contains(filt.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort();
+        assert!(
+            !sorted.is_empty(),
+            "benchmark {name:?} never called Bencher::iter"
+        );
+        let total: Duration = sorted.iter().sum();
+        let s = Summary {
+            name: name.to_string(),
+            min: sorted[0],
+            median: sorted[sorted.len() / 2],
+            mean: total / sorted.len() as u32,
+        };
+        println!(
+            "{:<48} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            s.name,
+            fmt(s.min),
+            fmt(s.median),
+            fmt(s.mean),
+            sorted.len()
+        );
+        self.results.push(s);
+    }
+
+    /// All summaries collected so far, in registration order.
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Print the closing line. (Results were already printed as they
+    /// completed; this marks a clean exit so CI logs are unambiguous.)
+    pub fn finish(self) {
+        println!("\n{} benchmark(s) complete", self.results.len());
+    }
+}
+
+/// Human-readable duration with 3 significant-ish digits.
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_fast_bodies_and_reports() {
+        let mut h = Harness {
+            sample_size: 3,
+            filter: None,
+            results: Vec::new(),
+        };
+        // A body the optimizer can't remove, slow enough to register.
+        h.bench_function("tiny", |b| {
+            b.iter(|| (0..10_000u64).fold(0, |a, x| a ^ std::hint::black_box(x)))
+        });
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].name, "tiny");
+        let s = &h.results()[0];
+        assert!(s.min <= s.median && s.median <= s.mean.max(s.median));
+        assert!(s.median > Duration::ZERO);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness {
+            sample_size: 1,
+            filter: Some("match-me".into()),
+            results: Vec::new(),
+        };
+        h.bench_function("other", |b| b.iter(|| 0));
+        h.bench_function("does match-me too", |b| b.iter(|| 0));
+        assert_eq!(h.results().len(), 1);
+    }
+}

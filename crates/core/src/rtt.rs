@@ -113,7 +113,10 @@ fn round_up(d: SimDuration, g: SimDuration) -> SimDuration {
     if rem.is_zero() {
         d
     } else {
-        d + (g - rem)
+        // Saturating: with max ≈ SimDuration::MAX (an "unclamped" config)
+        // and full backoff, d can sit within one granule of the
+        // representable ceiling, where plain addition would overflow.
+        d.saturating_add(g - rem)
     }
 }
 
@@ -220,6 +223,70 @@ mod tests {
         assert_eq!(e.rto(), SimDuration::from_millis(500));
         e.sample(SimDuration::from_millis(80));
         assert_eq!(e.rto() % SimDuration::from_millis(500), SimDuration::ZERO);
+    }
+
+    /// An RTO that is already an exact multiple of the clock granularity
+    /// must be returned as-is — rounding it up a further tick would add
+    /// a systematic 500 ms to every coarse-clock timeout.
+    #[test]
+    fn exact_granularity_multiple_does_not_round_up() {
+        let mut e = RttEstimator::new(RtoConfig {
+            granularity: SimDuration::from_millis(500),
+            min: SimDuration::from_millis(1),
+            ..RtoConfig::default()
+        });
+        // First sample m: RTO = m + 4·(m/2) = 3·m. Pick m = 500 ms so the
+        // raw RTO is exactly 1500 ms = 3 ticks.
+        e.sample(SimDuration::from_millis(500));
+        assert_eq!(e.rto(), SimDuration::from_millis(1500));
+        // And one nanosecond over a tick boundary rounds to the next tick.
+        let f = RttEstimator::new(RtoConfig {
+            granularity: SimDuration::from_millis(500),
+            min: SimDuration::from_nanos(1),
+            initial: SimDuration::from_nanos(1_500_000_001),
+            ..RtoConfig::default()
+        });
+        assert_eq!(f.rto(), SimDuration::from_millis(2000));
+    }
+
+    /// Backoff saturates at 2^12; even with an enormous estimator output
+    /// the shifted product must saturate rather than wrap, and rounding
+    /// the clamped result to the clock must not overflow either —
+    /// `max = SimDuration::MAX` ("effectively unclamped") puts the RTO
+    /// within one granule of the representable ceiling.
+    #[test]
+    fn saturated_backoff_cannot_overflow_the_clamp() {
+        let mut e = RttEstimator::new(RtoConfig {
+            granularity: SimDuration::from_millis(500),
+            min: SimDuration::from_millis(1),
+            max: SimDuration::MAX,
+            ..RtoConfig::default()
+        });
+        // srtt + 4·rttvar = 3 × (u64::MAX / 8) — within u64, but any
+        // backoff shift would overflow without saturating arithmetic.
+        e.sample(SimDuration::from_nanos(u64::MAX / 8));
+        for _ in 0..64 {
+            e.on_timeout();
+        }
+        assert_eq!(e.backoff(), 12, "backoff exponent must cap at 2^12");
+        let rto = e.rto();
+        assert_eq!(
+            rto,
+            SimDuration::MAX,
+            "saturated RTO must pin to the ceiling, got {rto}"
+        );
+        // A sane max keeps the clamp exact even under full backoff.
+        let mut e = RttEstimator::new(RtoConfig {
+            granularity: SimDuration::from_millis(500),
+            min: SimDuration::from_millis(1),
+            max: SimDuration::from_secs(64),
+            ..RtoConfig::default()
+        });
+        e.sample(SimDuration::from_secs(1_000_000));
+        for _ in 0..100 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(64));
     }
 
     #[test]

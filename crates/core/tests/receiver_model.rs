@@ -1,14 +1,17 @@
 //! Property test: the receiver against a reference model.
 //!
-//! Feed the real `TcpReceiver` an arbitrary interleaving (with duplicates)
+//! Feed the real `TcpReceiver` randomized interleavings (with duplicates)
 //! of segments 1..=n through a scripted source, and compare against the
 //! obvious model: delivery count = number of *distinct* segments once all
 //! have arrived, cumulative ack = highest contiguous prefix at every step.
+//!
+//! Cases come from the engine's own deterministic [`SimRng`] (fixed seed
+//! per case), so failures reproduce by case number without any external
+//! test-framework dependency.
 
-use proptest::prelude::*;
 use std::any::Any;
 use td_core::{ReceiverConfig, TcpReceiver};
-use td_engine::{Rate, SimDuration, SimTime};
+use td_engine::{Rate, SimDuration, SimRng, SimTime};
 use td_net::{ConnId, Ctx, DisciplineKind, Endpoint, FaultModel, Packet, PacketKind, World};
 
 /// Scripted source: sends `seqs` at 1 ms intervals; records ack stream.
@@ -76,33 +79,31 @@ fn run_sequence(seqs: Vec<u64>) -> (Vec<u64>, u64, u64) {
 
 /// A shuffled multiset over 1..=n: every value appears at least once, some
 /// repeated.
-fn segment_stream() -> impl Strategy<Value = (u64, Vec<u64>)> {
-    (1u64..40).prop_flat_map(|n| {
-        let extras = proptest::collection::vec(1..=n, 0..20);
-        (Just(n), extras, Just(())).prop_flat_map(move |(n, extras, _)| {
-            let all: Vec<u64> = (1..=n).chain(extras).collect();
-            let len = all.len();
-            // A permutation via random priorities.
-            proptest::collection::vec(any::<u64>(), len).prop_map(move |keys| {
-                let mut pairs: Vec<(u64, u64)> = keys.into_iter().zip(all.clone()).collect();
-                pairs.sort();
-                (n, pairs.into_iter().map(|(_, v)| v).collect())
-            })
-        })
-    })
+fn segment_stream(rng: &mut SimRng) -> (u64, Vec<u64>) {
+    let n = rng.next_range(1, 39);
+    let extras = rng.next_below(20) as usize;
+    let mut all: Vec<u64> = (1..=n).collect();
+    for _ in 0..extras {
+        all.push(rng.next_range(1, n));
+    }
+    // A permutation via random priorities (stable for equal keys, but the
+    // keys are 64-bit so collisions are negligible).
+    let mut pairs: Vec<(u64, u64)> = all.into_iter().map(|v| (rng.next_u64(), v)).collect();
+    pairs.sort();
+    (n, pairs.into_iter().map(|(_, v)| v).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn receiver_matches_reference_model((n, seqs) in segment_stream()) {
+#[test]
+fn receiver_matches_reference_model() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::new(0x00AC_CE55 + case);
+        let (n, seqs) = segment_stream(&mut rng);
         let (acks, cumulative, delivered) = run_sequence(seqs.clone());
         // Final state: everything 1..=n delivered exactly once.
-        prop_assert_eq!(cumulative, n);
-        prop_assert_eq!(delivered, n);
+        assert_eq!(cumulative, n, "case {case}");
+        assert_eq!(delivered, n, "case {case}");
         // One ack per arriving segment, cumulative at each step.
-        prop_assert_eq!(acks.len(), seqs.len());
+        assert_eq!(acks.len(), seqs.len(), "case {case}");
         let mut seen = vec![false; n as usize + 1];
         let mut expect_cum = 0u64;
         for (i, &s) in seqs.iter().enumerate() {
@@ -110,13 +111,15 @@ proptest! {
             while (expect_cum as usize) < n as usize && seen[expect_cum as usize + 1] {
                 expect_cum += 1;
             }
-            prop_assert_eq!(
+            assert_eq!(
                 acks[i], expect_cum,
-                "after segment {} (#{}) expected cumulative {}",
-                s, i, expect_cum
+                "case {case}: after segment {s} (#{i}) expected cumulative {expect_cum}"
             );
         }
         // Ack stream is monotone nondecreasing.
-        prop_assert!(acks.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            acks.windows(2).all(|w| w[0] <= w[1]),
+            "case {case}: ack stream not monotone"
+        );
     }
 }

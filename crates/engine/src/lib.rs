@@ -47,6 +47,7 @@
 mod queue;
 mod rate;
 mod rng;
+pub mod telemetry;
 mod time;
 
 pub use queue::{EventId, EventQueue};

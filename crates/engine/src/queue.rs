@@ -65,6 +65,8 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    /// Largest live length ever observed (post-schedule).
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -84,6 +86,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            peak_len: 0,
         }
     }
 
@@ -96,6 +99,17 @@ impl<E> EventQueue<E> {
     /// runaway-simulation guard.
     pub fn dispatched(&self) -> u64 {
         self.popped
+    }
+
+    /// Number of events ever scheduled into this queue.
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Largest number of live pending events ever held at once — the
+    /// working-set size a capacity planner would care about.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Number of live (not-yet-cancelled) pending events.
@@ -121,6 +135,11 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        let live = self.len();
+        if live > self.peak_len {
+            self.peak_len = live;
+        }
+        crate::telemetry::note_schedule(live);
         EventId(seq)
     }
 
@@ -156,6 +175,7 @@ impl<E> EventQueue<E> {
             debug_assert!(entry.at >= self.now, "heap produced an event in the past");
             self.now = entry.at;
             self.popped += 1;
+            crate::telemetry::note_dispatch();
             self.note_done(entry.seq);
             return Some((entry.at, entry.event));
         }
@@ -317,6 +337,85 @@ mod tests {
         // All seqs fired in order: the out-of-order set must be empty.
         assert!(q.fired.is_empty());
         assert_eq!(q.fired_watermark, 1000);
+    }
+
+    /// Audit of lazy cancellation (the `cancelled` set must never leak):
+    /// a long interleaving of schedules, cancels of live / fired /
+    /// never-scheduled ids, double-cancels, and pops must leave both
+    /// bookkeeping sets empty once the queue drains. A leaked entry would
+    /// corrupt `len()` (it subtracts `cancelled.len()`) and grow memory
+    /// without bound in timer-heavy simulations.
+    #[test]
+    fn cancel_heavy_run_leaves_no_residue() {
+        let mut q = EventQueue::new();
+        let mut rng = crate::SimRng::new(0xCA9CE1);
+        let mut live_ids: Vec<EventId> = Vec::new();
+        let mut fired_ids: Vec<EventId> = Vec::new();
+        for step in 0..50_000u64 {
+            match rng.next_below(10) {
+                // Schedule at a jittered future instant (ties included).
+                0..=3 => {
+                    let at = q.now() + SimDuration::from_nanos(rng.next_below(50));
+                    live_ids.push(q.schedule_at(at, step));
+                }
+                // Cancel something still (probably) pending.
+                4..=6 if !live_ids.is_empty() => {
+                    let k = rng.next_below(live_ids.len() as u64) as usize;
+                    let id = live_ids.swap_remove(k);
+                    q.cancel(id);
+                    // Double-cancel must refuse and must not re-insert.
+                    assert!(!q.cancel(id), "double cancel accepted");
+                }
+                // Cancel an id that already fired: must be a no-op.
+                7 if !fired_ids.is_empty() => {
+                    let k = rng.next_below(fired_ids.len() as u64) as usize;
+                    assert!(!q.cancel(fired_ids[k]), "cancel of fired id accepted");
+                }
+                // Cancel an id that was never scheduled: must be a no-op.
+                8 => {
+                    assert!(!q.cancel(EventId(u64::MAX - step)));
+                }
+                _ => {
+                    if let Some((_, e)) = q.pop() {
+                        if let Some(k) = live_ids.iter().position(|id| id.0 == e) {
+                            fired_ids.push(live_ids.swap_remove(k));
+                        }
+                    }
+                }
+            }
+            assert!(
+                q.cancelled.len() <= q.heap.len(),
+                "cancelled set outgrew the heap at step {step}"
+            );
+        }
+        while q.pop().is_some() {}
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+        assert!(
+            q.cancelled.is_empty(),
+            "drained queue left {} permanent cancelled entries",
+            q.cancelled.len()
+        );
+        assert!(q.fired.is_empty(), "fired set not folded into watermark");
+        assert_eq!(q.fired_watermark, q.next_seq);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule_at(SimTime::from_secs(i + 1), i);
+        }
+        assert_eq!(q.peak_len(), 10);
+        while q.pop().is_some() {}
+        assert_eq!(q.peak_len(), 10, "peak survives draining");
+        assert_eq!(q.scheduled(), 10);
+        // Cancelled entries do not count toward the live peak.
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), 0);
+        q.cancel(a);
+        q.schedule_at(SimTime::from_secs(2), 1);
+        assert_eq!(q.peak_len(), 1);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Per-thread simulation telemetry.
+//!
+//! The parallel experiment harness runs each experiment on its own worker
+//! thread, and an experiment may build several [`crate::EventQueue`]s over
+//! its lifetime (parameter sweeps, mode censuses). These thread-local
+//! counters aggregate queue activity across every queue touched by the
+//! current thread, so a harness can meter an experiment without threading
+//! a stats handle through every scenario builder:
+//!
+//! ```
+//! use td_engine::{telemetry, EventQueue, SimTime};
+//!
+//! telemetry::reset();
+//! let mut q = EventQueue::new();
+//! q.schedule_at(SimTime::from_secs(1), "tick");
+//! q.pop();
+//! let t = telemetry::snapshot();
+//! assert_eq!((t.events_scheduled, t.events_dispatched), (1, 1));
+//! ```
+//!
+//! The counters are plain `Cell`s: no atomics, no locks, and — because
+//! they never influence simulation behaviour — no effect on determinism.
+
+use std::cell::Cell;
+
+thread_local! {
+    static SCHEDULED: Cell<u64> = const { Cell::new(0) };
+    static DISPATCHED: Cell<u64> = const { Cell::new(0) };
+    static PEAK_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A snapshot of this thread's counters since the last [`reset`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Events scheduled into any queue on this thread.
+    pub events_scheduled: u64,
+    /// Events popped (dispatched) from any queue on this thread.
+    pub events_dispatched: u64,
+    /// Largest live pending-event set observed on this thread.
+    pub peak_queue_depth: usize,
+}
+
+/// Zero this thread's counters (call before metering a workload).
+pub fn reset() {
+    SCHEDULED.with(|c| c.set(0));
+    DISPATCHED.with(|c| c.set(0));
+    PEAK_DEPTH.with(|c| c.set(0));
+}
+
+/// Read this thread's counters.
+pub fn snapshot() -> Telemetry {
+    Telemetry {
+        events_scheduled: SCHEDULED.with(Cell::get),
+        events_dispatched: DISPATCHED.with(Cell::get),
+        peak_queue_depth: PEAK_DEPTH.with(Cell::get),
+    }
+}
+
+/// Record one schedule into a queue whose live depth is now `depth`.
+pub(crate) fn note_schedule(depth: usize) {
+    SCHEDULED.with(|c| c.set(c.get() + 1));
+    PEAK_DEPTH.with(|c| {
+        if depth > c.get() {
+            c.set(depth);
+        }
+    });
+}
+
+/// Record one pop from a queue.
+pub(crate) fn note_dispatch() {
+    DISPATCHED.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        note_schedule(3);
+        note_schedule(1);
+        note_dispatch();
+        let t = snapshot();
+        assert_eq!(t.events_scheduled, 2);
+        assert_eq!(t.events_dispatched, 1);
+        assert_eq!(t.peak_queue_depth, 3);
+        reset();
+        assert_eq!(snapshot(), Telemetry::default());
+    }
+}

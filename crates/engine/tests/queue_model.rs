@@ -1,12 +1,15 @@
 //! Model-based property test for the event queue.
 //!
-//! Replays an arbitrary interleaving of schedule / cancel / pop operations
+//! Replays randomized interleavings of schedule / cancel / pop operations
 //! against a reference model (a sorted map keyed by `(time, seq)`) and
 //! checks every observable: pop order, clock, length, cancellation results.
+//!
+//! Cases are generated from the engine's own [`SimRng`] with fixed seeds,
+//! so the suite is deterministic, dependency-free, and reproducible by
+//! case number.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
-use td_engine::{EventId, EventQueue, SimTime};
+use td_engine::{EventId, EventQueue, SimRng, SimTime};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -17,82 +20,82 @@ enum Op {
     Pop,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..1000).prop_map(Op::Schedule),
-            (0usize..64).prop_map(Op::Cancel),
-            Just(Op::Pop),
-        ],
-        1..200,
-    )
+/// A random operation script, 1..200 ops long.
+fn script(rng: &mut SimRng) -> Vec<Op> {
+    let len = rng.next_range(1, 199) as usize;
+    (0..len)
+        .map(|_| match rng.next_below(3) {
+            0 => Op::Schedule(rng.next_below(1000)),
+            1 => Op::Cancel(rng.next_below(64) as usize),
+            _ => Op::Pop,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn check_script(case: u64, script: Vec<Op>) {
+    let mut q = EventQueue::new();
+    // Model: (time, seq) -> payload; issued ids with their keys.
+    let mut model: BTreeMap<(SimTime, u64), u64> = BTreeMap::new();
+    let mut issued: Vec<(EventId, (SimTime, u64), bool)> = Vec::new(); // (id, key, live)
+    let mut now = SimTime::ZERO;
+    let mut seq = 0u64;
 
-    #[test]
-    fn queue_matches_reference_model(script in ops()) {
-        let mut q = EventQueue::new();
-        // Model: (time, seq) -> payload; issued ids with their keys.
-        let mut model: BTreeMap<(SimTime, u64), u64> = BTreeMap::new();
-        let mut issued: Vec<(EventId, (SimTime, u64), bool)> = Vec::new(); // (id, key, live)
-        let mut now = SimTime::ZERO;
-        let mut seq = 0u64;
-
-        for op in script {
-            match op {
-                Op::Schedule(off) => {
-                    let at = now + td_engine::SimDuration::from_nanos(off);
-                    let id = q.schedule_at(at, seq);
-                    model.insert((at, seq), seq);
-                    issued.push((id, (at, seq), true));
-                    seq += 1;
+    for op in script {
+        match op {
+            Op::Schedule(off) => {
+                let at = now + td_engine::SimDuration::from_nanos(off);
+                let id = q.schedule_at(at, seq);
+                model.insert((at, seq), seq);
+                issued.push((id, (at, seq), true));
+                seq += 1;
+            }
+            Op::Cancel(k) => {
+                if issued.is_empty() {
+                    continue;
                 }
-                Op::Cancel(k) => {
-                    if issued.is_empty() {
-                        continue;
-                    }
-                    let k = k % issued.len();
-                    let (id, key, live) = issued[k];
-                    let expected = live && model.contains_key(&key);
-                    let got = q.cancel(id);
-                    prop_assert_eq!(got, expected, "cancel of {:?}", key);
-                    if expected {
-                        model.remove(&key);
-                        issued[k].2 = false;
-                    }
-                }
-                Op::Pop => {
-                    let expected = model.iter().next().map(|(&k, &v)| (k, v));
-                    let got = q.pop();
-                    match (expected, got) {
-                        (None, None) => {}
-                        (Some(((at, _), v)), Some((t, e))) => {
-                            prop_assert_eq!(t, at, "pop time");
-                            prop_assert_eq!(e, v, "pop payload");
-                            now = at;
-                            let key = model.iter().next().map(|(&k, _)| k).unwrap();
-                            model.remove(&key);
-                        }
-                        (exp, got) => {
-                            return Err(TestCaseError::fail(format!(
-                                "model {exp:?} vs queue {got:?}"
-                            )));
-                        }
-                    }
+                let k = k % issued.len();
+                let (id, key, live) = issued[k];
+                let expected = live && model.contains_key(&key);
+                let got = q.cancel(id);
+                assert_eq!(got, expected, "case {case}: cancel of {key:?}");
+                if expected {
+                    model.remove(&key);
+                    issued[k].2 = false;
                 }
             }
-            prop_assert_eq!(q.len(), model.len(), "live length");
-            prop_assert_eq!(q.is_empty(), model.is_empty());
+            Op::Pop => {
+                let expected = model.iter().next().map(|(&k, &v)| (k, v));
+                let got = q.pop();
+                match (expected, got) {
+                    (None, None) => {}
+                    (Some(((at, _), v)), Some((t, e))) => {
+                        assert_eq!(t, at, "case {case}: pop time");
+                        assert_eq!(e, v, "case {case}: pop payload");
+                        now = at;
+                        let key = model.iter().next().map(|(&k, _)| k).unwrap();
+                        model.remove(&key);
+                    }
+                    (exp, got) => panic!("case {case}: model {exp:?} vs queue {got:?}"),
+                }
+            }
         }
+        assert_eq!(q.len(), model.len(), "case {case}: live length");
+        assert_eq!(q.is_empty(), model.is_empty());
+    }
 
-        // Drain: remaining events come out in exact model order.
-        while let Some((t, e)) = q.pop() {
-            let (&key, &v) = model.iter().next().expect("queue longer than model");
-            prop_assert_eq!((t, e), (key.0, v));
-            model.remove(&key);
-        }
-        prop_assert!(model.is_empty(), "queue shorter than model");
+    // Drain: remaining events come out in exact model order.
+    while let Some((t, e)) = q.pop() {
+        let (&key, &v) = model.iter().next().expect("queue longer than model");
+        assert_eq!((t, e), (key.0, v), "case {case}: drain order");
+        model.remove(&key);
+    }
+    assert!(model.is_empty(), "case {case}: queue shorter than model");
+}
+
+#[test]
+fn queue_matches_reference_model() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x51EE_D000 + case);
+        check_script(case, script(&mut rng));
     }
 }

@@ -1,38 +1,57 @@
 //! `td-repro` — regenerate every figure and table of the paper.
 //!
 //! ```text
-//! td-repro list                     # show available experiment ids
-//! td-repro all [--full] [--seed N] [--out DIR]
+//! td-repro list                       # show available experiment ids
+//! td-repro all [--full] [--seed N] [--jobs N] [--out DIR]
 //! td-repro fig45 [--full] [--seed N] [--out DIR]
 //! ```
 //!
-//! Reports print to stdout (metric rows + ASCII figures). With `--out DIR`
-//! the underlying CSV series and a markdown summary are written there.
+//! Experiments run on a worker pool (`--jobs N`, default = available
+//! cores); seeds are a pure function of `(--seed, experiment id,
+//! replicate)` — never of scheduling — so reports are byte-identical
+//! whatever the pool size. The canonical replicate runs with `--seed`
+//! verbatim; extra `--seeds` replicates get decorrelated derived seeds.
+//! Reports print to stdout (metric rows + ASCII figures) in
+//! registry order. With `--out DIR` the underlying CSV series, a markdown
+//! summary, and a `timings.json` observability report are written there;
+//! `--timings FILE` writes the timings report to an explicit path.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use td_experiments::registry::{find, registry, Profile};
-use td_experiments::Report;
+use td_experiments::runner::{default_jobs, run_batch, BatchResult, RunnerConfig};
 
 struct Args {
     ids: Vec<String>,
     seed: u64,
     seeds: u64,
+    jobs: usize,
     profile: Profile,
     out: Option<PathBuf>,
+    timings: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut ids = Vec::new();
     let mut seed = 1;
     let mut seeds = 1;
+    let mut jobs = default_jobs();
     let mut profile = Profile::Quick;
     let mut out = None;
+    let mut timings = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--full" => profile = Profile::Full,
             "--quick" => profile = Profile::Quick,
+            "--profile" => {
+                let v = argv.next().ok_or("--profile needs quick|full")?;
+                profile = match v.as_str() {
+                    "quick" => Profile::Quick,
+                    "full" => Profile::Full,
+                    other => return Err(format!("bad profile: {other} (quick|full)")),
+                };
+            }
             "--seed" => {
                 let v = argv.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
@@ -44,10 +63,22 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--seeds must be at least 1".into());
                 }
             }
+            "--jobs" => {
+                let v = argv.next().ok_or("--jobs needs a count")?;
+                jobs = v.parse().map_err(|_| format!("bad job count: {v}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--out" => {
                 let v = argv.next().ok_or("--out needs a directory")?;
                 out = Some(PathBuf::from(v));
             }
+            "--timings" => {
+                let v = argv.next().ok_or("--timings needs a file path")?;
+                timings = Some(PathBuf::from(v));
+            }
+            "--all" => ids.push("all".into()),
             "-h" | "--help" => {
                 ids.push("help".into());
             }
@@ -61,15 +92,17 @@ fn parse_args() -> Result<Args, String> {
         ids,
         seed,
         seeds,
+        jobs,
         profile,
         out,
+        timings,
     })
 }
 
 fn usage() {
     println!("td-repro — reproduce Zhang/Shenker/Clark (SIGCOMM '91)");
     println!();
-    println!("usage: td-repro <id|all|list> [--full] [--seed N] [--out DIR]");
+    println!("usage: td-repro <id|all|list> [--full] [--seed N] [--jobs N] [--out DIR]");
     println!();
     println!("experiments:");
     for e in registry() {
@@ -77,10 +110,17 @@ fn usage() {
     }
     println!();
     println!("flags:");
-    println!("  --full      paper-scale run lengths (default: quick)");
-    println!("  --seed N    simulation seed (default 1)");
-    println!("  --seeds N   repeat each experiment over N consecutive seeds");
-    println!("  --out DIR   also write CSV data and a markdown summary");
+    println!("  --full           paper-scale run lengths (default: quick)");
+    println!("  --profile P      quick | full (same as --quick / --full)");
+    println!("  --seed N         master seed for the canonical run (default 1)");
+    println!("  --seeds N        run N replicates per experiment; replicate 0 uses");
+    println!("                   --seed verbatim, the rest get derived seeds");
+    println!(
+        "  --jobs N         worker threads (default: available cores = {})",
+        default_jobs()
+    );
+    println!("  --out DIR        also write CSV data, a markdown summary, and timings.json");
+    println!("  --timings FILE   write the timings/observability report to FILE");
 }
 
 fn main() -> ExitCode {
@@ -119,33 +159,46 @@ fn main() -> ExitCode {
         picked
     };
 
-    let mut reports: Vec<Report> = Vec::new();
-    let mut any_failed = false;
-    for e in &entries {
-        let mut passes = 0;
-        for s in 0..args.seeds {
-            let seed = args.seed + s;
-            eprintln!("running {} (seed {seed}) ...", e.id);
-            let rep = e.run(seed, args.profile);
-            if args.seeds == 1 || s == 0 {
-                println!("{rep}");
-            }
-            if rep.all_ok() {
-                passes += 1;
-            } else {
-                any_failed = true;
-                eprintln!("MISMATCH in {} (seed {seed}): {:?}", rep.id, rep.failures());
-            }
-            if s == 0 {
-                reports.push(rep);
-            }
+    let cfg = RunnerConfig {
+        jobs: args.jobs,
+        profile: args.profile,
+        master_seed: args.seed,
+        replicates: args.seeds,
+        progress: true,
+    };
+    eprintln!(
+        "running {} experiment(s) × {} seed(s) on {} worker(s) ...",
+        entries.len(),
+        args.seeds,
+        cfg.jobs.clamp(1, entries.len() * args.seeds as usize)
+    );
+    let batch = run_batch(&entries, &cfg);
+
+    // Reports in registry order, independent of completion order.
+    for r in batch.primary() {
+        println!("{}", r.report);
+        if !r.report.all_ok() {
+            eprintln!(
+                "MISMATCH in {} (seed {}): {:?}",
+                r.id,
+                r.seed,
+                r.report.failures()
+            );
         }
-        if args.seeds > 1 {
-            eprintln!("{}: {passes}/{} seeds fully in-band", e.id, args.seeds);
+    }
+    if args.seeds > 1 {
+        for e in &entries {
+            let (passes, total) = batch.pass_count(e.id);
+            eprintln!("{}: {passes}/{total} seeds fully in-band", e.id);
         }
     }
 
+    if let Err(e) = write_timings(&args, &batch) {
+        eprintln!("error writing timings: {e}");
+        return ExitCode::FAILURE;
+    }
     if let Some(dir) = &args.out {
+        let reports: Vec<_> = batch.primary().map(|r| r.report.clone()).collect();
         if let Err(e) = write_outputs(dir, &reports) {
             eprintln!("error writing outputs: {e}");
             return ExitCode::FAILURE;
@@ -153,16 +206,36 @@ fn main() -> ExitCode {
         eprintln!("wrote CSVs and summary to {}", dir.display());
     }
 
-    let ok = reports.iter().filter(|r| r.all_ok()).count();
-    eprintln!("{ok}/{} experiments fully in-band", reports.len());
-    if any_failed {
-        ExitCode::FAILURE
-    } else {
+    let ok = batch.primary().filter(|r| r.report.all_ok()).count();
+    eprintln!(
+        "{ok}/{} experiments fully in-band, {:.1}s wall clock on {} worker(s)",
+        batch.primary().count(),
+        batch.total_wall_s,
+        batch.jobs
+    );
+    if batch.all_ok() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
-fn write_outputs(dir: &std::path::Path, reports: &[Report]) -> std::io::Result<()> {
+fn write_timings(args: &Args, batch: &BatchResult) -> std::io::Result<()> {
+    let explicit = args.timings.clone();
+    let implied = args.out.as_ref().map(|d| d.join("timings.json"));
+    for path in explicit.into_iter().chain(implied) {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, batch.timings_json())?;
+        eprintln!("wrote timings to {}", path.display());
+    }
+    Ok(())
+}
+
+fn write_outputs(dir: &std::path::Path, reports: &[td_experiments::Report]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let mut summary = String::from("# Reproduction summary\n\n");
     for rep in reports {

@@ -26,6 +26,7 @@ pub mod registry;
 pub mod reno;
 pub mod report;
 pub mod rtt_spread;
+pub mod runner;
 pub mod scenario;
 pub mod short_flows;
 pub mod simcli;

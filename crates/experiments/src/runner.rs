@@ -1,0 +1,374 @@
+//! Parallel experiment harness.
+//!
+//! `td-repro` used to execute registry entries strictly sequentially; this
+//! module runs them across a scoped-thread worker pool (`--jobs N`) while
+//! preserving the property the whole repository is built on: **bit-identical
+//! results from a seed**. Three ingredients make that safe:
+//!
+//! 1. Every experiment owns its own `World` (and therefore its own
+//!    `EventQueue` and `SimRng`) — there is no shared mutable simulation
+//!    state between registry entries.
+//! 2. Each experiment's seed is a pure function of
+//!    `(master_seed, experiment_id, replicate)` — the master seed itself
+//!    for the canonical replicate 0, [`derive_seed`] for the rest — never
+//!    of thread scheduling, pool size, or completion order. `--jobs 1`
+//!    and `--jobs 32` therefore produce byte-identical reports.
+//! 3. Results are collected by task index, not completion order, so
+//!    downstream output is ordered like the registry regardless of which
+//!    worker finishes first.
+//!
+//! The pool is also the observability hook: each task is metered with
+//! wall-clock time and the engine's per-thread [`td_engine::telemetry`]
+//! counters (events scheduled/dispatched, peak pending-event depth), and
+//! the whole run can be serialized as a `timings.json` report — the
+//! trajectory file the benchmarking roadmap hangs off.
+
+use crate::registry::{Entry, Profile};
+use crate::report::Report;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Derive the seed for one experiment from the run's master seed.
+///
+/// The experiment id is folded with FNV-1a and mixed with the master seed
+/// through a SplitMix64 finalizer, so every `(master_seed, id)` pair gets
+/// an independent, platform-stable seed. Changing the pool size, the
+/// registry order, or the set of experiments run cannot perturb any other
+/// experiment's stream.
+///
+/// Replicate 0 deliberately does *not* go through this derivation (see
+/// [`run_batch`]): the canonical report must match a direct
+/// `entry.run(master_seed, profile)` call — several experiments reproduce
+/// seed-sensitive phenomena (e.g. the fig45 synchronization bands) that
+/// the paper demonstrates at the canonical seed. Derivation decorrelates
+/// the *additional* replicates, which would otherwise all rerun the same
+/// stream.
+pub fn derive_seed(master_seed: u64, experiment_id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in experiment_id.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // SplitMix64 finalizer over the combined words.
+    let mut z = master_seed
+        .rotate_left(32)
+        .wrapping_add(h)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How the pool should execute a batch.
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerConfig {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Run profile handed to every entry.
+    pub profile: Profile,
+    /// Master seed. Replicate 0 receives it verbatim; replicate `r > 0`
+    /// runs with `derive_seed(master_seed + r, id)`.
+    pub master_seed: u64,
+    /// Replicates per experiment. Replicate 0 is the canonical run whose
+    /// report is printed; all replicates contribute pass/fail counts.
+    pub replicates: u64,
+    /// Emit a live per-completion progress line on stderr.
+    pub progress: bool,
+}
+
+impl RunnerConfig {
+    /// Default config: all available cores, quick profile, seed 1.
+    pub fn new() -> Self {
+        RunnerConfig {
+            jobs: default_jobs(),
+            profile: Profile::Quick,
+            master_seed: 1,
+            replicates: 1,
+            progress: false,
+        }
+    }
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Wall-clock and engine counters for one executed experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Wall-clock seconds spent inside the experiment runner.
+    pub wall_s: f64,
+    /// Events scheduled across every queue the experiment built.
+    pub events_scheduled: u64,
+    /// Events dispatched across every queue the experiment built.
+    pub events_dispatched: u64,
+    /// Largest pending-event set any of its queues ever held.
+    pub peak_queue_depth: usize,
+}
+
+/// One executed (experiment, replicate) cell.
+pub struct ExperimentResult {
+    /// Registry id.
+    pub id: &'static str,
+    /// Replicate index (0-based).
+    pub replicate: u64,
+    /// The seed the experiment actually ran with.
+    pub seed: u64,
+    /// The experiment's report.
+    pub report: Report,
+    /// Observability counters.
+    pub timing: Timing,
+}
+
+/// A completed batch: per-task results in deterministic (registry ×
+/// replicate) order, plus batch-level metadata for `timings.json`.
+pub struct BatchResult {
+    /// Results ordered by `(entry index, replicate)`.
+    pub results: Vec<ExperimentResult>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Profile used.
+    pub profile: Profile,
+    /// Master seed of replicate 0.
+    pub master_seed: u64,
+    /// Wall-clock seconds for the whole batch.
+    pub total_wall_s: f64,
+}
+
+impl BatchResult {
+    /// Results of replicate 0, in registry order (the printable reports).
+    pub fn primary(&self) -> impl Iterator<Item = &ExperimentResult> {
+        self.results.iter().filter(|r| r.replicate == 0)
+    }
+
+    /// `(passes, replicates)` for one experiment id.
+    pub fn pass_count(&self, id: &str) -> (u64, u64) {
+        let mut passes = 0;
+        let mut total = 0;
+        for r in self.results.iter().filter(|r| r.id == id) {
+            total += 1;
+            if r.report.all_ok() {
+                passes += 1;
+            }
+        }
+        (passes, total)
+    }
+
+    /// True if every checked row of every replicate passed.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.report.all_ok())
+    }
+
+    /// Serialize the batch as a `timings.json` document.
+    pub fn timings_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"master_seed\": {},\n", self.master_seed));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"profile\": \"{}\",\n",
+            match self.profile {
+                Profile::Quick => "quick",
+                Profile::Full => "full",
+            }
+        ));
+        out.push_str(&format!("  \"total_wall_s\": {:.6},\n", self.total_wall_s));
+        let events: u64 = self
+            .results
+            .iter()
+            .map(|r| r.timing.events_dispatched)
+            .sum();
+        out.push_str(&format!("  \"total_events_dispatched\": {events},\n"));
+        out.push_str("  \"experiments\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let t = &r.timing;
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"replicate\": {}, \"seed\": {}, \"ok\": {}, \
+                 \"wall_s\": {:.6}, \"events_scheduled\": {}, \"events_dispatched\": {}, \
+                 \"peak_queue_depth\": {}}}{}\n",
+                r.id,
+                r.replicate,
+                r.seed,
+                r.report.all_ok(),
+                t.wall_s,
+                t.events_scheduled,
+                t.events_dispatched,
+                t.peak_queue_depth,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Execute `entries × replicates` on a scoped-thread worker pool.
+///
+/// Tasks are claimed from a shared counter; results land in their task's
+/// slot, so the returned order (and every report in it) is independent of
+/// scheduling. Worker threads run experiments to completion — an
+/// experiment is never split across threads, which is what lets the
+/// engine's thread-local telemetry meter it.
+pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
+    let replicates = cfg.replicates.max(1);
+    let n_tasks = entries.len() * replicates as usize;
+    let jobs = cfg.jobs.clamp(1, n_tasks.max(1));
+    let started = Instant::now();
+
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ExperimentResult>>> =
+        (0..n_tasks).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let task = next.fetch_add(1, Ordering::Relaxed);
+                if task >= n_tasks {
+                    return;
+                }
+                // Task layout: entry-major, replicate-minor.
+                let entry = &entries[task / replicates as usize];
+                let replicate = (task % replicates as usize) as u64;
+                // Replicate 0 is the canonical run: same seed, same report
+                // as a direct sequential `entry.run(master_seed, profile)`.
+                // Extra replicates get decorrelated derived seeds.
+                let seed = if replicate == 0 {
+                    cfg.master_seed
+                } else {
+                    derive_seed(cfg.master_seed.wrapping_add(replicate), entry.id)
+                };
+
+                td_engine::telemetry::reset();
+                let t0 = Instant::now();
+                let report = entry.run(seed, cfg.profile);
+                let wall_s = t0.elapsed().as_secs_f64();
+                let telem = td_engine::telemetry::snapshot();
+
+                let result = ExperimentResult {
+                    id: entry.id,
+                    replicate,
+                    seed,
+                    report,
+                    timing: Timing {
+                        wall_s,
+                        events_scheduled: telem.events_scheduled,
+                        events_dispatched: telem.events_dispatched,
+                        peak_queue_depth: telem.peak_queue_depth,
+                    },
+                };
+                if cfg.progress {
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let status = if result.report.all_ok() {
+                        "ok"
+                    } else {
+                        "MISMATCH"
+                    };
+                    eprintln!(
+                        "[{finished}/{n_tasks}] {} (seed {seed}): {status} in {:.1}s, {} events, peak queue {}",
+                        entry.id, wall_s, telem.events_dispatched, telem.peak_queue_depth
+                    );
+                }
+                *slots[task].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every task ran"))
+        .collect();
+    BatchResult {
+        results,
+        jobs,
+        profile: cfg.profile,
+        master_seed: cfg.master_seed,
+        total_wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::find;
+
+    #[test]
+    fn derive_seed_is_stable_and_separating() {
+        assert_eq!(derive_seed(1, "fig2"), derive_seed(1, "fig2"));
+        assert_ne!(derive_seed(1, "fig2"), derive_seed(2, "fig2"));
+        assert_ne!(derive_seed(1, "fig2"), derive_seed(1, "fig3"));
+        // Id and master must not be interchangeable by concatenation-style
+        // collisions: nearby masters across different ids stay distinct.
+        let mut seen = std::collections::HashSet::new();
+        for master in 0..50u64 {
+            for id in ["fig2", "fig3", "fig45", "modes"] {
+                assert!(seen.insert(derive_seed(master, id)), "collision");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_results_are_registry_ordered() {
+        let entries = vec![find("short-flows").unwrap(), find("fig8").unwrap()];
+        let cfg = RunnerConfig {
+            jobs: 2,
+            replicates: 2,
+            ..RunnerConfig::new()
+        };
+        let batch = run_batch(&entries, &cfg);
+        let order: Vec<_> = batch.results.iter().map(|r| (r.id, r.replicate)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("short-flows", 0),
+                ("short-flows", 1),
+                ("fig8", 0),
+                ("fig8", 1)
+            ]
+        );
+        assert_eq!(batch.primary().count(), 2);
+        let (passes, total) = batch.pass_count("fig8");
+        assert_eq!(total, 2);
+        assert!(passes <= 2);
+    }
+
+    #[test]
+    fn timings_json_is_well_formed() {
+        let entries = vec![find("short-flows").unwrap()];
+        let batch = run_batch(
+            &entries,
+            &RunnerConfig {
+                jobs: 1,
+                ..RunnerConfig::new()
+            },
+        );
+        let json = batch.timings_json();
+        for key in [
+            "\"master_seed\"",
+            "\"jobs\"",
+            "\"profile\": \"quick\"",
+            "\"total_wall_s\"",
+            "\"experiments\"",
+            "\"id\": \"short-flows\"",
+            "\"events_dispatched\"",
+            "\"peak_queue_depth\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Counters must be live, not zero: the experiment really ran.
+        let r = &batch.results[0];
+        assert!(r.timing.events_dispatched > 0);
+        assert!(r.timing.peak_queue_depth > 0);
+        assert!(r.timing.events_scheduled >= r.timing.events_dispatched);
+        assert!(json.matches("{\"id\"").count() == 1 || json.contains("{\"id\": "));
+    }
+}

@@ -37,6 +37,13 @@ pub fn parse_cc(s: &str) -> Result<CcKind, String> {
         other => {
             if let Some(w) = other.strip_prefix("fixed:") {
                 let wnd: u64 = w.parse().map_err(|_| format!("bad fixed window: {w}"))?;
+                // A zero window deadlocks the sender: nothing is ever
+                // transmitted, so no ACK and no timer can unstick it.
+                if wnd == 0 {
+                    return Err(
+                        "fixed window must be at least 1 packet (fixed:0 never sends)".into(),
+                    );
+                }
                 Ok(CcKind::FixedWindow { wnd })
             } else {
                 Err(format!(
@@ -109,6 +116,14 @@ pub fn parse(args: &[String]) -> Result<SimArgs, String> {
     }
     if fwd + rev == 0 {
         return Err("need at least one connection (--fwd/--rev)".into());
+    }
+    // Like fixed:0, a zero advertised window means the sender may never
+    // transmit: no data, no ACK clock, no pending timer — a silent
+    // deadlock rather than a simulation.
+    if maxwnd == 0 {
+        return Err(
+            "--maxwnd must be at least 1 packet (a zero window deadlocks the sender)".into(),
+        );
     }
     if duration_s < 10 {
         return Err("--duration must be at least 10 s".into());
@@ -232,6 +247,19 @@ mod tests {
         );
         assert!(parse_cc("cubic").is_err());
         assert!(parse_cc("fixed:x").is_err());
+    }
+
+    #[test]
+    fn zero_windows_are_rejected() {
+        // fixed:0 configures a sender that can never transmit — reject it
+        // up front instead of deadlocking the simulation.
+        let err = parse_cc("fixed:0").unwrap_err();
+        assert!(err.contains("at least 1"), "unhelpful error: {err}");
+        let err = parse(&args("--maxwnd 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "unhelpful error: {err}");
+        // The boundary value stays accepted.
+        assert_eq!(parse_cc("fixed:1").unwrap(), CcKind::FixedWindow { wnd: 1 });
+        assert!(parse(&args("--maxwnd 1")).is_ok());
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! The parallel harness must not be able to change results: for the same
+//! master seed, `--jobs N` output is byte-identical to `--jobs 1`.
+
+use td_experiments::registry::find;
+use td_experiments::runner::{run_batch, RunnerConfig};
+
+/// Full observable surface of a report: rendered text, markdown, CSV and
+/// blob bytes.
+fn rendered(batch: &td_experiments::runner::BatchResult) -> Vec<(String, Vec<u8>)> {
+    batch
+        .results
+        .iter()
+        .map(|r| {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(r.report.to_string().as_bytes());
+            bytes.extend_from_slice(r.report.markdown_table().as_bytes());
+            for (name, csv) in &r.report.csvs {
+                bytes.extend_from_slice(name.as_bytes());
+                bytes.extend_from_slice(csv.as_bytes());
+            }
+            for (name, blob) in &r.report.blobs {
+                bytes.extend_from_slice(name.as_bytes());
+                bytes.extend_from_slice(blob);
+            }
+            (format!("{}#{}", r.id, r.replicate), bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_sequential() {
+    let entries = || vec![find("fig8").unwrap(), find("short-flows").unwrap()];
+    let base = RunnerConfig {
+        master_seed: 7,
+        replicates: 1,
+        ..RunnerConfig::new()
+    };
+    let seq = run_batch(&entries(), &RunnerConfig { jobs: 1, ..base });
+    let par = run_batch(&entries(), &RunnerConfig { jobs: 4, ..base });
+
+    assert_eq!(seq.results.len(), par.results.len());
+    for ((id_a, bytes_a), (id_b, bytes_b)) in rendered(&seq).iter().zip(rendered(&par).iter()) {
+        assert_eq!(id_a, id_b, "result order depends on pool size");
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{id_a}: parallel report differs from sequential"
+        );
+    }
+    // Seeds and simulated work must match too, not just the rendering.
+    for (a, b) in seq.results.iter().zip(&par.results) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.timing.events_dispatched, b.timing.events_dispatched);
+        assert_eq!(a.timing.peak_queue_depth, b.timing.peak_queue_depth);
+    }
+}

@@ -374,6 +374,16 @@ impl World {
         self.queue.dispatched()
     }
 
+    /// Total events ever scheduled.
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled()
+    }
+
+    /// Largest pending-event set held at any point of the run.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     // -- inspection ---------------------------------------------------------
 
     /// The run's trace.

@@ -1,65 +1,79 @@
 //! Cross-crate conservation and sanity invariants.
 //!
-//! Property-based tests over randomized scenarios: whatever the topology,
-//! workload, and timing, packets must be conserved, buffers must respect
-//! their capacity, and the transport must stay reliable.
+//! Randomized-scenario tests: whatever the topology, workload, and
+//! timing, packets must be conserved, buffers must respect their
+//! capacity, and the transport must stay reliable. Scenarios are drawn
+//! from the engine's own deterministic [`SimRng`] with a fixed seed per
+//! case, so every failure reproduces by case number without any external
+//! test-framework dependency.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
-use tahoe_dynamics::engine::SimDuration;
+use tahoe_dynamics::engine::{SimDuration, SimRng};
 use tahoe_dynamics::experiments::{ConnSpec, Scenario};
 use tahoe_dynamics::net::{PacketId, TraceEvent};
 use tahoe_dynamics::tcp::{ReceiverConfig, SenderConfig};
 
+const CASES: u64 = 24;
+
 /// Build a randomized small scenario.
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    (
-        1u64..1000,                                         // seed
-        1u64..2000,                                         // tau in ms
-        prop_oneof![Just(None), (2u32..40).prop_map(Some)], // buffer
-        1usize..4,                                          // fwd conns
-        0usize..4,                                          // rev conns
-        20u64..90,                                          // duration s
-        prop::bool::ANY,                                    // fixed windows?
-    )
-        .prop_map(|(seed, tau_ms, buffer, nf, nr, dur, fixed)| {
-            let spec = if fixed {
-                ConnSpec::fixed(5 + seed % 20)
-            } else {
-                ConnSpec::paper()
-            };
-            let mut sc = Scenario::paper(SimDuration::from_millis(tau_ms), buffer)
-                .with_fwd(nf, spec)
-                .with_rev(nr, spec);
-            sc.seed = seed;
-            sc.duration = SimDuration::from_secs(dur);
-            sc.warmup = SimDuration::from_secs(dur / 4);
-            sc
-        })
+fn scenario(rng: &mut SimRng) -> Scenario {
+    let seed = rng.next_range(1, 999);
+    let tau_ms = rng.next_range(1, 1999);
+    let buffer = if rng.chance(0.5) {
+        None
+    } else {
+        Some(rng.next_range(2, 39) as u32)
+    };
+    let nf = rng.next_range(1, 3) as usize;
+    let nr = rng.next_below(4) as usize;
+    let dur = rng.next_range(20, 89);
+    let spec = if rng.chance(0.5) {
+        ConnSpec::fixed(5 + seed % 20)
+    } else {
+        ConnSpec::paper()
+    };
+    let mut sc = Scenario::paper(SimDuration::from_millis(tau_ms), buffer)
+        .with_fwd(nf, spec)
+        .with_rev(nr, spec);
+    sc.seed = seed;
+    sc.duration = SimDuration::from_secs(dur);
+    sc.warmup = SimDuration::from_secs(dur / 4);
+    sc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every packet ever sent is eventually delivered, dropped, or still
-    /// in flight — nothing is duplicated or vanishes.
-    #[test]
-    fn packets_are_conserved(sc in scenario_strategy()) {
-        let run = sc.run();
+/// Every packet ever sent is eventually delivered, dropped, or still
+/// in flight — nothing is duplicated or vanishes.
+#[test]
+fn packets_are_conserved() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x00C0_95E8 + case);
+        let run = scenario(&mut rng).run();
         let mut state: HashMap<PacketId, &'static str> = HashMap::new();
         for r in run.world.trace().records() {
             match r.ev {
                 TraceEvent::Send { pkt, .. } => {
                     let prev = state.insert(pkt.id, "inflight");
-                    prop_assert!(prev.is_none(), "packet id reused: {:?}", pkt.id);
+                    assert!(
+                        prev.is_none(),
+                        "case {case}: packet id reused: {:?}",
+                        pkt.id
+                    );
                 }
                 TraceEvent::Drop { pkt, .. } => {
                     let prev = state.insert(pkt.id, "dropped");
-                    prop_assert_eq!(prev, Some("inflight"), "drop of non-inflight packet");
+                    assert_eq!(
+                        prev,
+                        Some("inflight"),
+                        "case {case}: drop of non-inflight packet"
+                    );
                 }
                 TraceEvent::Deliver { pkt, .. } => {
                     let prev = state.insert(pkt.id, "delivered");
-                    prop_assert_eq!(prev, Some("inflight"), "delivery of non-inflight packet");
+                    assert_eq!(
+                        prev,
+                        Some("inflight"),
+                        "case {case}: delivery of non-inflight packet"
+                    );
                 }
                 _ => {}
             }
@@ -67,79 +81,103 @@ proptest! {
         // Every state is one of the three; counts add up by construction.
         let delivered = state.values().filter(|&&s| s == "delivered").count();
         let total = state.len();
-        prop_assert!(total > 0, "nothing was ever sent");
-        prop_assert!(delivered > 0, "nothing was ever delivered");
+        assert!(total > 0, "case {case}: nothing was ever sent");
+        assert!(delivered > 0, "case {case}: nothing was ever delivered");
     }
+}
 
-    /// Buffer occupancy never exceeds the configured capacity.
-    #[test]
-    fn capacity_is_respected(sc in scenario_strategy()) {
+/// Buffer occupancy never exceeds the configured capacity.
+#[test]
+fn capacity_is_respected() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x0CA9_AC17 + case);
+        let sc = scenario(&mut rng);
         let cap = sc.buffer;
         let run = sc.run();
         if let Some(cap) = cap {
             for r in run.world.trace().records() {
                 if let TraceEvent::Enqueue { ch, qlen_after, .. } = r.ev {
                     if ch == run.bottleneck_12 || ch == run.bottleneck_21 {
-                        prop_assert!(
+                        assert!(
                             qlen_after <= cap,
-                            "occupancy {qlen_after} > capacity {cap}"
+                            "case {case}: occupancy {qlen_after} > capacity {cap}"
                         );
                     }
                 }
             }
         }
     }
+}
 
-    /// The receiver's cumulative point equals its delivered count:
-    /// delivery is contiguous and exactly-once (transport reliability).
-    #[test]
-    fn transport_is_reliable(sc in scenario_strategy()) {
-        let run = sc.run();
+/// The receiver's cumulative point equals its delivered count:
+/// delivery is contiguous and exactly-once (transport reliability).
+#[test]
+fn transport_is_reliable() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x8E11_A81E + case);
+        let run = scenario(&mut rng).run();
         for conn in run.conns() {
             let rx = run.receiver(conn);
-            prop_assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+            assert_eq!(rx.cumulative_ack(), rx.stats().delivered, "case {case}");
         }
     }
+}
 
-    /// Flight size is window-bounded — except transiently after a loss,
-    /// where Tahoe collapses the window to 1 while the old flight is
-    /// still draining (BSD restores `snd_nxt` after fast retransmit).
-    #[test]
-    fn flight_never_exceeds_window(sc in scenario_strategy()) {
-        let run = sc.run();
+/// Flight size is window-bounded — except transiently after a loss,
+/// where Tahoe collapses the window to 1 while the old flight is
+/// still draining (BSD restores `snd_nxt` after fast retransmit).
+#[test]
+fn flight_never_exceeds_window() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x00F1_19A7 + case);
+        let run = scenario(&mut rng).run();
         for conn in run.conns() {
             let tx = run.sender(conn);
             let st = tx.stats();
             let in_recovery = st.fast_retransmits + st.timeouts > 0;
-            prop_assert!(
+            assert!(
                 tx.outstanding() <= tx.window() || in_recovery,
-                "conn {:?}: {} in flight > window {} with no loss ever detected",
+                "case {case}, conn {:?}: {} in flight > window {} with no loss ever detected",
                 conn,
                 tx.outstanding(),
                 tx.window()
             );
             // Even in recovery the flight is bounded by the configured
             // maximum window.
-            prop_assert!(tx.outstanding() <= 1000);
+            assert!(tx.outstanding() <= 1000, "case {case}");
         }
     }
+}
 
-    /// Utilization is a fraction.
-    #[test]
-    fn utilization_is_a_fraction(sc in scenario_strategy()) {
-        let run = sc.run();
+/// Utilization is a fraction.
+#[test]
+fn utilization_is_a_fraction() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x0711_17A7 + case);
+        let run = scenario(&mut rng).run();
         for u in [run.util12(), run.util21()] {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "case {case}: utilization {u}"
+            );
         }
     }
+}
 
-    /// Identical scenarios replay bit-identically.
-    #[test]
-    fn runs_are_deterministic(sc in scenario_strategy()) {
+/// Identical scenarios replay bit-identically.
+#[test]
+fn runs_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xDE7E_8311 + case);
+        let sc = scenario(&mut rng);
         let a = sc.run();
         let b = sc.run();
-        prop_assert_eq!(a.world.events_dispatched(), b.world.events_dispatched());
-        prop_assert_eq!(a.world.trace().len(), b.world.trace().len());
+        assert_eq!(
+            a.world.events_dispatched(),
+            b.world.events_dispatched(),
+            "case {case}"
+        );
+        assert_eq!(a.world.trace().len(), b.world.trace().len(), "case {case}");
         // Spot-check the full event streams match, not just the lengths.
         for (x, y) in a
             .world
@@ -148,13 +186,52 @@ proptest! {
             .iter()
             .zip(b.world.trace().records())
         {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y, "case {case}");
         }
     }
 }
 
-/// Sequence numbers delivered in order per connection (non-proptest: one
-/// adversarial deterministic case with heavy loss).
+/// Historical shrunken failure (from the retired property-test corpus):
+/// three forward paper connections against one reverse over a 0.82 s
+/// path with a 29-packet buffer. Re-runs the full invariant battery.
+#[test]
+fn regression_three_against_one_long_path() {
+    let mut sc = Scenario::paper(SimDuration::from_millis(820), Some(29))
+        .with_fwd(3, ConnSpec::paper())
+        .with_rev(1, ConnSpec::paper());
+    sc.seed = 1;
+    sc.duration = SimDuration::from_secs(20);
+    sc.warmup = SimDuration::from_secs(5);
+    let run = sc.run();
+    let mut state: HashMap<PacketId, u8> = HashMap::new();
+    for r in run.world.trace().records() {
+        match r.ev {
+            TraceEvent::Send { pkt, .. } => {
+                assert!(state.insert(pkt.id, 0).is_none());
+            }
+            TraceEvent::Drop { pkt, .. } => {
+                assert_eq!(state.insert(pkt.id, 1), Some(0));
+            }
+            TraceEvent::Deliver { pkt, .. } => {
+                assert_eq!(state.insert(pkt.id, 2), Some(0));
+            }
+            _ => {}
+        }
+    }
+    for conn in run.conns() {
+        let rx = run.receiver(conn);
+        assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
+        let tx = run.sender(conn);
+        let st = tx.stats();
+        assert!(
+            tx.outstanding() <= tx.window() || st.fast_retransmits + st.timeouts > 0,
+            "conn {conn:?}"
+        );
+    }
+}
+
+/// Sequence numbers delivered in order per connection (one adversarial
+/// deterministic case with heavy loss).
 #[test]
 fn in_order_delivery_under_heavy_congestion() {
     let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(3))

@@ -3,15 +3,17 @@
 //! The paper's configurations are dumbbells and chains; the substrate
 //! must be correct on *any* connected graph. Generate random trees of
 //! switches with hosts hanging off random switches, wire random TCP
-//! connections across them, and assert the global laws.
+//! connections across them, and assert the global laws. Topologies come
+//! from the engine's deterministic [`SimRng`] with a fixed seed per case.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
-use tahoe_dynamics::engine::{Rate, SimDuration, SimTime};
+use tahoe_dynamics::engine::{Rate, SimDuration, SimRng, SimTime};
 use tahoe_dynamics::net::{
     ConnId, DisciplineKind, FaultModel, NodeId, PacketId, TraceEvent, World,
 };
 use tahoe_dynamics::tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+
+const CASES: u64 = 24;
 
 #[derive(Debug, Clone)]
 struct Topo {
@@ -27,39 +29,33 @@ struct Topo {
     secs: u64,
 }
 
-fn topo() -> impl Strategy<Value = Topo> {
-    (2usize..6, 1u64..10_000).prop_flat_map(|(n_switches, seed)| {
-        let parents = proptest::collection::vec(0usize..1000, n_switches - 1);
-        let hosts = proptest::collection::vec(0usize..n_switches, 2..6);
-        (Just(n_switches), Just(seed), parents, hosts, 20u64..50).prop_flat_map(
-            |(n_switches, seed, parents, host_at, secs)| {
-                let n_hosts = host_at.len();
-                let flows = proptest::collection::vec((0usize..n_hosts, 0usize..n_hosts), 1..5);
-                (
-                    Just(n_switches),
-                    Just(seed),
-                    Just(parents),
-                    Just(host_at),
-                    Just(secs),
-                    flows,
-                )
-                    .prop_map(
-                        |(n_switches, seed, parents, host_at, secs, flows)| Topo {
-                            seed,
-                            n_switches,
-                            parents: parents
-                                .iter()
-                                .enumerate()
-                                .map(|(i, &p)| p % (i + 1))
-                                .collect(),
-                            host_at,
-                            flows,
-                            secs,
-                        },
-                    )
-            },
-        )
-    })
+fn topo(rng: &mut SimRng) -> Topo {
+    let n_switches = rng.next_range(2, 5) as usize;
+    let seed = rng.next_range(1, 9999);
+    let parents = (0..n_switches - 1)
+        .map(|i| rng.next_below(i as u64 + 1) as usize)
+        .collect();
+    let n_hosts = rng.next_range(2, 5) as usize;
+    let host_at = (0..n_hosts)
+        .map(|_| rng.next_below(n_switches as u64) as usize)
+        .collect();
+    let n_flows = rng.next_range(1, 4) as usize;
+    let flows = (0..n_flows)
+        .map(|_| {
+            (
+                rng.next_below(n_hosts as u64) as usize,
+                rng.next_below(n_hosts as u64) as usize,
+            )
+        })
+        .collect();
+    Topo {
+        seed,
+        n_switches,
+        parents,
+        host_at,
+        flows,
+        secs: rng.next_range(20, 49),
+    }
 }
 
 fn build(t: &Topo) -> (World, Vec<(ConnId, tahoe_dynamics::net::EndpointId)>) {
@@ -124,14 +120,14 @@ fn build(t: &Topo) -> (World, Vec<(ConnId, tahoe_dynamics::net::EndpointId)>) {
     (w, eps)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_tree_topologies_conserve_and_deliver(t in topo()) {
+#[test]
+fn random_tree_topologies_conserve_and_deliver() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x7090_1091 + case);
+        let t = topo(&mut rng);
         let (mut w, receivers) = build(&t);
         if receivers.is_empty() {
-            return Ok(()); // all flows were self-flows
+            continue; // all flows were self-flows
         }
         w.run_until(SimTime::from_secs(t.secs));
 
@@ -140,13 +136,13 @@ proptest! {
         for r in w.trace().records() {
             match r.ev {
                 TraceEvent::Send { pkt, .. } => {
-                    prop_assert!(state.insert(pkt.id, 0).is_none());
+                    assert!(state.insert(pkt.id, 0).is_none(), "case {case}");
                 }
                 TraceEvent::Drop { pkt, .. } => {
-                    prop_assert_eq!(state.insert(pkt.id, 1), Some(0));
+                    assert_eq!(state.insert(pkt.id, 1), Some(0), "case {case}");
                 }
                 TraceEvent::Deliver { pkt, .. } => {
-                    prop_assert_eq!(state.insert(pkt.id, 2), Some(0));
+                    assert_eq!(state.insert(pkt.id, 2), Some(0), "case {case}");
                 }
                 _ => {}
             }
@@ -160,10 +156,10 @@ proptest! {
                 .as_any()
                 .downcast_ref::<TcpReceiver>()
                 .unwrap();
-            prop_assert_eq!(rx.cumulative_ack(), rx.stats().delivered);
-            prop_assert!(
+            assert_eq!(rx.cumulative_ack(), rx.stats().delivered, "case {case}");
+            assert!(
                 rx.stats().delivered > 0,
-                "{conn:?} delivered nothing in {} s on {t:?}",
+                "case {case}: {conn:?} delivered nothing in {} s on {t:?}",
                 t.secs
             );
         }
@@ -171,7 +167,7 @@ proptest! {
         // No channel buffer ever exceeded its 15-packet capacity.
         for r in w.trace().records() {
             if let TraceEvent::Enqueue { qlen_after, .. } = r.ev {
-                prop_assert!(qlen_after <= 15);
+                assert!(qlen_after <= 15, "case {case}");
             }
         }
     }
