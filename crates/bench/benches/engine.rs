@@ -1,16 +1,27 @@
-//! Simulator-core microbenchmarks: event queue, RNG, and the end-to-end
-//! event-processing rate of a saturated dumbbell.
+//! Simulator-core microbenchmarks: event queue (slab vs. the pre-change
+//! legacy queue), RNG, and the end-to-end event-processing rate of a
+//! saturated dumbbell.
+//!
+//! Besides the human-readable table, the run emits a machine-readable
+//! `BENCH_engine.json` (override the path with `TD_BENCH_JSON`; note that
+//! `cargo bench` runs this binary with its cwd at the *package* root,
+//! `crates/bench/`, so pass an absolute path to land elsewhere) so the
+//! repository accumulates a perf trajectory; CI uploads it as an
+//! artifact. The `legacy` variants run the frozen pre-slab queue from
+//! `td_engine::legacy` in the same binary, so every report carries its
+//! own old-vs-new comparison.
 
 use std::hint::black_box;
 use td_bench::Harness;
+use td_engine::legacy::LegacyEventQueue;
 use td_engine::{EventQueue, SimDuration, SimRng, SimTime};
 use td_experiments::{ConnSpec, Scenario};
 
-fn event_queue(c: &mut Harness) {
+/// Interleaved schedule/pop churn — the queue's steady-state gait.
+fn event_queue_churn(c: &mut Harness) {
     c.bench_function("engine/event-queue push-pop 10k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
-            // Interleaved schedule pattern exercising heap churn.
             for i in 0..10_000u64 {
                 let t = SimTime::from_nanos((i * 2_654_435_761) % 1_000_000_000);
                 q.schedule_at(t.max(q.now()), i);
@@ -23,20 +34,101 @@ fn event_queue(c: &mut Harness) {
             }
         });
     });
+    c.bench_function("engine/event-queue push-pop 10k (legacy)", |b| {
+        b.iter(|| {
+            let mut q = LegacyEventQueue::new();
+            for i in 0..10_000u64 {
+                let t = SimTime::from_nanos((i * 2_654_435_761) % 1_000_000_000);
+                q.schedule_at(t.max(q.now()), i);
+                if i % 3 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    });
+}
 
+/// Bulk schedule, cancel half, drain — the shape of a mass timer sweep.
+fn event_queue_cancel_heavy(c: &mut Harness) {
     c.bench_function("engine/event-queue cancel-heavy 10k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
             let ids: Vec<_> = (0..10_000u64)
                 .map(|i| q.schedule_at(SimTime::from_nanos(i), i))
                 .collect();
-            // Cancel half (the TCP retransmit-timer pattern).
             for id in ids.iter().step_by(2) {
                 q.cancel(*id);
             }
             while let Some(e) = q.pop() {
                 black_box(e);
             }
+        });
+    });
+    c.bench_function("engine/event-queue cancel-heavy 10k (legacy)", |b| {
+        b.iter(|| {
+            let mut q = LegacyEventQueue::new();
+            let ids: Vec<_> = (0..10_000u64)
+                .map(|i| q.schedule_at(SimTime::from_nanos(i), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    });
+}
+
+/// The TCP retransmit-timer pattern: a working set of armed timers where
+/// almost every timer is cancelled (ACKed) and re-armed before it can
+/// expire — the workload that dominates timer-heavy two-way runs.
+fn event_queue_timer_churn(c: &mut Harness) {
+    const TIMERS: usize = 256;
+    const ROUNDS: u64 = 10_000;
+    c.bench_function("engine/event-queue timer-churn 256x10k", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut armed: Vec<_> = (0..TIMERS as u64)
+                .map(|i| q.schedule_at(SimTime::from_millis(100 + i), i))
+                .collect();
+            for r in 0..ROUNDS {
+                // An ACK arrives: cancel one armed timer, re-arm it later.
+                let k = rng.next_below(TIMERS as u64) as usize;
+                q.cancel(armed[k]);
+                armed[k] = q.schedule_in(SimDuration::from_millis(100), r);
+                // Occasionally the clock advances over a due event.
+                if r % 64 == 0 {
+                    if let Some((_, tag)) = q.pop() {
+                        black_box(tag);
+                    }
+                }
+            }
+            black_box(q.len())
+        });
+    });
+    c.bench_function("engine/event-queue timer-churn 256x10k (legacy)", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut q = LegacyEventQueue::new();
+            let mut armed: Vec<_> = (0..TIMERS as u64)
+                .map(|i| q.schedule_at(SimTime::from_millis(100 + i), i))
+                .collect();
+            for r in 0..ROUNDS {
+                let k = rng.next_below(TIMERS as u64) as usize;
+                q.cancel(armed[k]);
+                armed[k] = q.schedule_in(SimDuration::from_millis(100), r);
+                if r % 64 == 0 {
+                    if let Some((_, tag)) = q.pop() {
+                        black_box(tag);
+                    }
+                }
+            }
+            black_box(q.len())
         });
     });
 }
@@ -88,8 +180,14 @@ fn end_to_end(c: &mut Harness) {
 
 fn main() {
     let mut c = Harness::new();
-    event_queue(&mut c);
+    event_queue_churn(&mut c);
+    event_queue_cancel_heavy(&mut c);
+    event_queue_timer_churn(&mut c);
     rng(&mut c);
     end_to_end(&mut c);
+    let json_path = std::env::var("TD_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
+    if let Err(e) = c.write_json(std::path::Path::new(&json_path)) {
+        eprintln!("could not write {json_path}: {e}");
+    }
     c.finish();
 }

@@ -28,6 +28,8 @@ const SAMPLE_FLOOR: Duration = Duration::from_millis(5);
 pub struct Bencher {
     sample_size: usize,
     samples: Vec<Duration>,
+    /// Body invocations per sample, decided by calibration.
+    iters: u32,
 }
 
 impl Bencher {
@@ -43,6 +45,7 @@ impl Bencher {
         } else {
             ((SAMPLE_FLOOR.as_nanos() / once.as_nanos()) + 1).min(1 << 24) as u32
         };
+        self.iters = iters;
         for _ in 0..self.sample_size {
             let t = Instant::now();
             for _ in 0..iters {
@@ -64,6 +67,10 @@ pub struct Summary {
     pub median: Duration,
     /// Mean over all samples (per iteration).
     pub mean: Duration,
+    /// Samples taken.
+    pub samples: usize,
+    /// Body invocations per sample (calibrated batching factor).
+    pub iters: u32,
 }
 
 /// The benchmark registry and runner.
@@ -115,6 +122,7 @@ impl Harness {
         let mut b = Bencher {
             sample_size: self.sample_size,
             samples: Vec::with_capacity(self.sample_size),
+            iters: 0,
         };
         f(&mut b);
         let mut sorted = b.samples.clone();
@@ -129,6 +137,8 @@ impl Harness {
             min: sorted[0],
             median: sorted[sorted.len() / 2],
             mean: total / sorted.len() as u32,
+            samples: sorted.len(),
+            iters: b.iters,
         };
         println!(
             "{:<48} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
@@ -146,11 +156,56 @@ impl Harness {
         &self.results
     }
 
+    /// Serialize the collected results as a machine-readable JSON document
+    /// — the perf-trajectory format (`BENCH_*.json`) future sessions
+    /// regress against. Includes the git revision the numbers were taken
+    /// at (best-effort; `"unknown"` outside a work tree).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+        out.push_str("  \"benches\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \
+                 \"mean_ns\": {}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                s.name.replace('"', "'"),
+                s.min.as_nanos(),
+                s.median.as_nanos(),
+                s.mean.as_nanos(),
+                s.samples,
+                s.iters,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write [`Harness::to_json`] to `path` and note it on stdout.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())?;
+        println!("wrote machine-readable results to {}", path.display());
+        Ok(())
+    }
+
     /// Print the closing line. (Results were already printed as they
     /// completed; this marks a clean exit so CI logs are unambiguous.)
     pub fn finish(self) {
         println!("\n{} benchmark(s) complete", self.results.len());
     }
+}
+
+/// Short git revision of the working tree, `"unknown"` when unavailable.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 /// Human-readable duration with 3 significant-ish digits.

@@ -10,10 +10,13 @@
 //!   drift and replay bit-identically.
 //! * [`Rate`] — a bandwidth in bits/second with exact integer
 //!   transmission-time arithmetic.
-//! * [`EventQueue`] — a totally ordered, cancellable pending-event set.
-//!   Ties in time are broken by schedule order, which makes every run
-//!   deterministic: two events scheduled for the same instant fire in the
-//!   order they were scheduled.
+//! * [`EventQueue`] — a totally ordered, cancellable pending-event set:
+//!   an indexed 4-ary min-heap over a generation-counted slab, with true
+//!   O(log n) cancellation and O(1) `&self` peeking. Ties in time are
+//!   broken by schedule order, which makes every run deterministic: two
+//!   events scheduled for the same instant fire in the order they were
+//!   scheduled. (The pre-slab implementation survives in [`legacy`] as a
+//!   differential-testing oracle and benchmark baseline.)
 //! * [`SimRng`] — a small, seedable, deterministic random-number generator
 //!   (an `xoshiro256**` implemented locally) so experiments are reproducible
 //!   from a single `u64` seed and independent of external crate versioning.
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod legacy;
 mod queue;
 mod rate;
 mod rng;

@@ -1,51 +1,70 @@
-//! The pending-event set.
+//! The pending-event set: an indexed 4-ary min-heap over a slab.
 //!
-//! A binary heap keyed on `(time, sequence)`. The sequence number is a
-//! monotone counter assigned at scheduling time, so events scheduled for the
-//! same instant fire in scheduling order. This total order is what makes
-//! whole-simulation runs reproducible: there is never an "arbitrary" choice
-//! left to hash-map iteration order or heap tie-breaking.
+//! Events live in a **generation-counted slab**: scheduling claims a slot
+//! (reusing freed ones), and the returned [`EventId`] is the pair
+//! `(slot, generation)`. A parallel **4-ary heap of slot indices** orders
+//! the pending set by `(time, seq)`, where `seq` is a monotone counter
+//! assigned at scheduling time — so events scheduled for the same instant
+//! fire in scheduling order. This total order is what makes
+//! whole-simulation runs reproducible: there is never an "arbitrary"
+//! choice left to hash-map iteration order or heap tie-breaking, and it is
+//! byte-for-byte the order the engine's original binary-heap queue
+//! produced (see [`crate::legacy`] and `tests/queue_differential.rs`).
 //!
-//! Cancellation is lazy: [`EventQueue::cancel`] records the id in a small
-//! set, and cancelled entries are discarded when they surface at the top of
-//! the heap. This keeps `cancel` O(1) without requiring a decrease-key
-//! heap, and is the standard approach for simulator timer management where
-//! most timers are either cancelled long before expiry (TCP retransmit
-//! timers) or expire uncancelled.
+//! Each slot remembers its position in the heap, which buys the two
+//! operations the old design faked with tombstones:
+//!
+//! * [`EventQueue::cancel`] is a **true O(log n) removal** — swap the
+//!   victim with the last heap entry and re-sift. No tombstone ever enters
+//!   the heap, so `pop` and `peek_time` never loop over corpses, `len` is
+//!   a plain `Vec::len`, and there is **no hashing anywhere** on the
+//!   schedule/cancel/pop path (the old queue paid a `HashSet` probe per
+//!   pop plus fired-set bookkeeping per event).
+//! * Liveness checks ([`EventQueue::cancel`] re-cancel, [`EventQueue::has_fired`])
+//!   are a **generation compare**: freeing a slot bumps its generation, so
+//!   a stale handle can never alias a reused slot (generations are `u64`;
+//!   they do not wrap in any feasible run).
+//!
+//! Why d = 4: a d-ary heap trades deeper trees for wider nodes. With
+//! 4 children per node the tree is half as deep as a binary heap
+//! (log₄ n = ½ log₂ n), sift-up — the operation `schedule_at` always pays —
+//! does half the comparisons, and the four children sit in adjacent
+//! `Vec` cells, so the extra comparisons in sift-down are against hot
+//! cache lines. For discrete-event simulation, where schedules outnumber
+//! sift-downs (every pop is preceded by exactly one schedule, but cancels
+//! remove many events before they ever reach the root), this is the
+//! standard sweet spot.
 
 use crate::SimTime;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+
+/// Slot index marker for "not in the heap".
+const NOT_IN_HEAP: u32 = u32::MAX;
 
 /// Opaque handle to a scheduled event, used to cancel it.
+///
+/// A handle is `(slot, generation)`: the slab slot the event occupies and
+/// the generation of that occupancy. Slots are reused after an event
+/// retires, but each reuse bumps the generation, so operations on a stale
+/// handle are detected exactly and return `false` instead of touching the
+/// wrong event.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u64,
+}
 
-struct Entry<E> {
+/// One slab cell. `event == None` means vacant (on the free list, its
+/// `gen` already bumped past every handle issued for it).
+struct Slot<E> {
+    /// Generation of the current (or next) occupant.
+    gen: u64,
+    /// Index into `heap` while pending; `NOT_IN_HEAP` when vacant.
+    heap_pos: u32,
+    /// Absolute due time of the current occupant.
     at: SimTime,
+    /// Monotone schedule counter of the current occupant (tie-breaker).
     seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want min-(time, seq) on top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+    event: Option<E>,
 }
 
 /// A deterministic, cancellable discrete-event queue.
@@ -54,19 +73,25 @@ impl<E> Ord for Entry<E> {
 /// timestamp of the most recently popped event (initially [`SimTime::ZERO`]),
 /// and scheduling into the past is a panic — causality violations are always
 /// caller bugs.
+///
+/// Memory: the slab holds one cell per *concurrently pending* event (peak,
+/// not total — retired slots are reused), and the heap is a `Vec<u32>` of
+/// the same length. Nothing grows with the number of events ever
+/// scheduled.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Seqs of pending events that have been cancelled but not yet discarded.
-    cancelled: HashSet<u64>,
-    /// Fired seqs above `fired_watermark` (events can fire out of seq order).
-    fired: HashSet<u64>,
-    /// All seqs below this have fired; keeps `fired` small.
-    fired_watermark: u64,
+    /// Slot indices, heap-ordered by `(slots[i].at, slots[i].seq)`.
+    heap: Vec<u32>,
+    slots: Vec<Slot<E>>,
+    /// Vacant slot indices, reused LIFO.
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
     /// Largest live length ever observed (post-schedule).
     peak_len: usize,
+    /// Schedules not yet folded into the thread telemetry counters;
+    /// flushed once per pop (and on drop) instead of per call.
+    unflushed_sched: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,18 +100,38 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+impl<E> Drop for EventQueue<E> {
+    fn drop(&mut self) {
+        // Flush schedules that never saw a pop (drained-by-drop queues,
+        // runs truncated by a time bound) so thread telemetry stays exact.
+        crate::telemetry::flush(self.unflushed_sched, 0, self.peak_len);
+    }
+}
+
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            fired: HashSet::new(),
-            fired_watermark: 0,
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
             peak_len: 0,
+            unflushed_sched: 0,
+        }
+    }
+
+    /// An empty queue with slab and heap capacity for `n` concurrently
+    /// pending events (e.g. a peak depth observed by
+    /// [`crate::telemetry`] on a previous comparable run).
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(n),
+            slots: Vec::with_capacity(n),
+            free: Vec::with_capacity(n),
+            ..Self::new()
         }
     }
 
@@ -112,14 +157,101 @@ impl<E> EventQueue<E> {
         self.peak_len
     }
 
-    /// Number of live (not-yet-cancelled) pending events.
+    /// Number of live pending events. Exact: cancelled events leave the
+    /// heap immediately.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len()
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.heap.is_empty()
+    }
+
+    /// `(at, seq)` sort key of the slot at heap position `pos`.
+    #[inline]
+    fn key(&self, pos: usize) -> (SimTime, u64) {
+        let s = &self.slots[self.heap[pos] as usize];
+        (s.at, s.seq)
+    }
+
+    #[inline]
+    fn set_pos(&mut self, pos: usize, slot: u32) {
+        self.heap[pos] = slot;
+        self.slots[slot as usize].heap_pos = pos as u32;
+    }
+
+    /// Move the entry at `pos` rootward while it sorts before its parent.
+    fn sift_up(&mut self, mut pos: usize) {
+        let slot = self.heap[pos];
+        let key = self.key(pos);
+        while pos > 0 {
+            let parent = (pos - 1) / 4;
+            if key >= self.key(parent) {
+                break;
+            }
+            let p = self.heap[parent];
+            self.set_pos(pos, p);
+            pos = parent;
+        }
+        self.set_pos(pos, slot);
+    }
+
+    /// Move the entry at `pos` leafward while some child sorts before it.
+    fn sift_down(&mut self, mut pos: usize) {
+        let slot = self.heap[pos];
+        let key = self.key(pos);
+        loop {
+            let first = pos * 4 + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + 4).min(self.heap.len());
+            let mut best = first;
+            let mut best_key = self.key(first);
+            for c in first + 1..last {
+                let k = self.key(c);
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if best_key >= key {
+                break;
+            }
+            let b = self.heap[best];
+            self.set_pos(pos, b);
+            pos = best;
+        }
+        self.set_pos(pos, slot);
+    }
+
+    /// Detach the heap entry at `pos` and restore heap order. The caller
+    /// still owns the slot's contents.
+    fn remove_heap_entry(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        if pos == last {
+            self.heap.pop();
+            return;
+        }
+        let moved = self.heap[last];
+        self.heap.pop();
+        self.set_pos(pos, moved);
+        // The replacement came from a leaf: it can only need to move down,
+        // unless the removed entry was below the replacement's parent chain.
+        self.sift_down(pos);
+        self.sift_up(self.slots[moved as usize].heap_pos as usize);
+    }
+
+    /// Return `slot` to the free list, bumping its generation so every
+    /// outstanding handle to the old occupant goes stale.
+    fn retire(&mut self, slot: u32) -> E {
+        let s = &mut self.slots[slot as usize];
+        s.gen += 1;
+        s.heap_pos = NOT_IN_HEAP;
+        let ev = s.event.take().expect("retiring a vacant slot");
+        self.free.push(slot);
+        ev
     }
 
     /// Schedule `event` to fire at absolute time `at`.
@@ -134,13 +266,37 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        let live = self.len();
-        if live > self.peak_len {
-            self.peak_len = live;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.at = at;
+                s.seq = seq;
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                assert!(slot != u32::MAX, "event slab full");
+                self.slots.push(Slot {
+                    gen: 0,
+                    heap_pos: NOT_IN_HEAP,
+                    at,
+                    seq,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        let pos = self.heap.len();
+        self.heap.push(slot);
+        self.slots[slot as usize].heap_pos = pos as u32;
+        self.sift_up(pos);
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
         }
-        crate::telemetry::note_schedule(live);
-        EventId(seq)
+        self.unflushed_sched += 1;
+        EventId { slot, gen }
     }
 
     /// Schedule `event` to fire `delay` after the current time.
@@ -152,59 +308,87 @@ impl<E> EventQueue<E> {
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (and is now guaranteed not to fire), `false` if it had
     /// already fired, been cancelled, or was never scheduled.
+    ///
+    /// True removal: the event leaves the heap immediately (O(log n)
+    /// sift), its slot is reusable at once, and no residue survives to be
+    /// skipped by later pops.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq || self.has_fired(id) {
-            return false;
+        match self.slots.get(id.slot as usize) {
+            Some(s) if s.gen == id.gen && s.event.is_some() => {
+                let pos = s.heap_pos as usize;
+                self.remove_heap_entry(pos);
+                self.retire(id.slot);
+                true
+            }
+            _ => false,
         }
-        self.cancelled.insert(id.0)
     }
 
-    /// True if the id refers to an event that has already fired.
+    /// True if the id refers to an event that has retired — fired, or been
+    /// cancelled. (Mirrors the pre-slab queue, whose fired-set also
+    /// absorbed cancelled entries once discarded; here the state is exact
+    /// and immediate: a slot generation beyond the handle's.)
     pub fn has_fired(&self, id: EventId) -> bool {
-        id.0 < self.fired_watermark || self.fired.contains(&id.0)
+        self.slots
+            .get(id.slot as usize)
+            .is_some_and(|s| id.gen < s.gen)
     }
 
     /// Remove and return the earliest live event, advancing the clock.
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                self.note_done(entry.seq);
-                continue; // lazily discard cancelled entry
-            }
-            debug_assert!(entry.at >= self.now, "heap produced an event in the past");
-            self.now = entry.at;
-            self.popped += 1;
-            crate::telemetry::note_dispatch();
-            self.note_done(entry.seq);
-            return Some((entry.at, entry.event));
-        }
-        None
+        let &root = self.heap.first()?;
+        let at = self.slots[root as usize].at;
+        debug_assert!(at >= self.now, "heap produced an event in the past");
+        self.remove_heap_entry(0);
+        let event = self.retire(root);
+        self.now = at;
+        self.popped += 1;
+        crate::telemetry::flush(self.unflushed_sched, 1, self.peak_len);
+        self.unflushed_sched = 0;
+        Some((at, event))
     }
 
-    /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                self.note_done(seq);
-                continue;
-            }
-            return Some(entry.at);
+    /// Remove and return the earliest live event if it is due at or before
+    /// `bound`. One call replaces the `peek_time` + `pop` pair in
+    /// time-bounded run loops.
+    pub fn pop_at_or_before(&mut self, bound: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? > bound {
+            return None;
         }
-        None
+        self.pop()
     }
 
-    /// Record that `seq` has left the heap (fired or cancelled-and-discarded)
-    /// so later `cancel` calls on it report `false`. Advancing the watermark
-    /// over contiguous prefixes keeps the set's size bounded by the number
-    /// of in-flight events.
-    fn note_done(&mut self, seq: u64) {
-        self.fired.insert(seq);
-        while self.fired.remove(&self.fired_watermark) {
-            self.fired_watermark += 1;
+    /// Timestamp of the next live event without popping it. O(1) and
+    /// `&self`: cancelled events are removed eagerly, so the root is
+    /// always live.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&s| self.slots[s as usize].at)
+    }
+
+    /// Heap-shape invariant check, for tests: every parent sorts at or
+    /// before its children and every slot/heap index link is mutual.
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        assert_eq!(
+            self.heap.len() + self.free.len(),
+            self.slots.len(),
+            "slab accounting broken"
+        );
+        for pos in 0..self.heap.len() {
+            let slot = self.heap[pos] as usize;
+            assert_eq!(self.slots[slot].heap_pos as usize, pos, "backlink broken");
+            assert!(self.slots[slot].event.is_some(), "vacant slot in heap");
+            if pos > 0 {
+                assert!(
+                    self.key((pos - 1) / 4) <= self.key(pos),
+                    "heap order broken"
+                );
+            }
+        }
+        for &slot in &self.free {
+            assert!(self.slots[slot as usize].event.is_none());
+            assert_eq!(self.slots[slot as usize].heap_pos, NOT_IN_HEAP);
         }
     }
 }
@@ -294,11 +478,26 @@ mod tests {
     #[test]
     fn cancel_unknown_id_returns_false() {
         let mut q = EventQueue::<()>::new();
-        assert!(!q.cancel(EventId(999)));
+        assert!(!q.cancel(EventId { slot: 999, gen: 0 }));
+        assert!(!q.has_fired(EventId { slot: 999, gen: 0 }));
     }
 
     #[test]
-    fn len_accounts_for_cancelled() {
+    fn stale_handle_cannot_touch_reused_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        q.pop();
+        // The slot is reused for a new occupant at a later generation.
+        let b = q.schedule_at(SimTime::from_secs(2), "b");
+        assert_eq!(a.slot, b.slot, "slot not reused — test premise broken");
+        assert!(q.has_fired(a));
+        assert!(!q.has_fired(b));
+        assert!(!q.cancel(a), "stale handle cancelled a reused slot");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+    }
+
+    #[test]
+    fn len_is_exact_under_cancellation() {
         let mut q = EventQueue::new();
         let a = q.schedule_at(SimTime::from_secs(1), ());
         q.schedule_at(SimTime::from_secs(2), ());
@@ -309,12 +508,32 @@ mod tests {
     }
 
     #[test]
-    fn peek_time_skips_cancelled() {
+    fn peek_time_is_immutable_and_skips_nothing() {
         let mut q = EventQueue::new();
         let a = q.schedule_at(SimTime::from_secs(1), ());
         q.schedule_at(SimTime::from_secs(2), ());
         q.cancel(a);
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        // `&self` peek: cancelled events are already gone from the heap.
+        let q_ref: &EventQueue<()> = &q;
+        assert_eq!(q_ref.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_bound() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(3), "b");
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_secs(2)),
+            Some((SimTime::from_secs(1), "a"))
+        );
+        assert_eq!(q.pop_at_or_before(SimTime::from_secs(2)), None);
+        // Bound exactly on the event time: it fires.
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_secs(3)),
+            Some((SimTime::from_secs(3), "b"))
+        );
+        assert_eq!(q.pop_at_or_before(SimTime::from_secs(100)), None);
     }
 
     #[test]
@@ -328,40 +547,46 @@ mod tests {
     }
 
     #[test]
-    fn fired_watermark_bounds_memory() {
+    fn slab_memory_is_bounded_by_peak_not_total() {
         let mut q = EventQueue::new();
-        for i in 0..1000u64 {
-            q.schedule_at(SimTime::from_secs(i), ());
+        // 10_000 events scheduled over time, never more than 2 pending.
+        for i in 0..10_000u64 {
+            q.schedule_at(SimTime::from_secs(i + 1), ());
+            q.schedule_at(SimTime::from_secs(i + 1), ());
+            q.pop();
+            q.pop();
         }
-        while q.pop().is_some() {}
-        // All seqs fired in order: the out-of-order set must be empty.
-        assert!(q.fired.is_empty());
-        assert_eq!(q.fired_watermark, 1000);
+        assert_eq!(q.scheduled(), 20_000);
+        assert!(
+            q.slots.len() <= 2,
+            "slab grew to {} slots for a working set of 2",
+            q.slots.len()
+        );
     }
 
-    /// Audit of lazy cancellation (the `cancelled` set must never leak):
-    /// a long interleaving of schedules, cancels of live / fired /
-    /// never-scheduled ids, double-cancels, and pops must leave both
-    /// bookkeeping sets empty once the queue drains. A leaked entry would
-    /// corrupt `len()` (it subtracts `cancelled.len()`) and grow memory
-    /// without bound in timer-heavy simulations.
+    /// Audit of true cancellation (no residue by construction): a long
+    /// interleaving of schedules, cancels of live / fired / stale /
+    /// never-scheduled ids, double-cancels, and pops must keep the slab
+    /// and heap mutually consistent at every step and leave the slab
+    /// fully free once drained. The invariant check also verifies heap
+    /// order and slot↔heap backlinks, so any sift bug surfaces here.
     #[test]
     fn cancel_heavy_run_leaves_no_residue() {
         let mut q = EventQueue::new();
         let mut rng = crate::SimRng::new(0xCA9CE1);
-        let mut live_ids: Vec<EventId> = Vec::new();
+        let mut live_ids: Vec<(EventId, u64)> = Vec::new();
         let mut fired_ids: Vec<EventId> = Vec::new();
         for step in 0..50_000u64 {
             match rng.next_below(10) {
                 // Schedule at a jittered future instant (ties included).
                 0..=3 => {
                     let at = q.now() + SimDuration::from_nanos(rng.next_below(50));
-                    live_ids.push(q.schedule_at(at, step));
+                    live_ids.push((q.schedule_at(at, step), step));
                 }
                 // Cancel something still (probably) pending.
                 4..=6 if !live_ids.is_empty() => {
                     let k = rng.next_below(live_ids.len() as u64) as usize;
-                    let id = live_ids.swap_remove(k);
+                    let (id, _) = live_ids.swap_remove(k);
                     q.cancel(id);
                     // Double-cancel must refuse and must not re-insert.
                     assert!(!q.cancel(id), "double cancel accepted");
@@ -370,34 +595,38 @@ mod tests {
                 7 if !fired_ids.is_empty() => {
                     let k = rng.next_below(fired_ids.len() as u64) as usize;
                     assert!(!q.cancel(fired_ids[k]), "cancel of fired id accepted");
+                    assert!(q.has_fired(fired_ids[k]));
                 }
                 // Cancel an id that was never scheduled: must be a no-op.
                 8 => {
-                    assert!(!q.cancel(EventId(u64::MAX - step)));
+                    let bogus = EventId {
+                        slot: u32::MAX - 1,
+                        gen: step,
+                    };
+                    assert!(!q.cancel(bogus));
                 }
                 _ => {
                     if let Some((_, e)) = q.pop() {
-                        if let Some(k) = live_ids.iter().position(|id| id.0 == e) {
-                            fired_ids.push(live_ids.swap_remove(k));
+                        if let Some(k) = live_ids.iter().position(|&(_, tag)| tag == e) {
+                            fired_ids.push(live_ids.swap_remove(k).0);
                         }
                     }
                 }
             }
-            assert!(
-                q.cancelled.len() <= q.heap.len(),
-                "cancelled set outgrew the heap at step {step}"
-            );
+            if step % 1024 == 0 {
+                q.assert_invariants();
+            }
+            assert_eq!(q.len(), live_ids.len(), "len diverged at step {step}");
         }
         while q.pop().is_some() {}
         assert!(q.pop().is_none());
         assert_eq!(q.len(), 0);
-        assert!(
-            q.cancelled.is_empty(),
-            "drained queue left {} permanent cancelled entries",
-            q.cancelled.len()
+        q.assert_invariants();
+        assert_eq!(
+            q.free.len(),
+            q.slots.len(),
+            "drained queue left occupied slots"
         );
-        assert!(q.fired.is_empty(), "fired set not folded into watermark");
-        assert_eq!(q.fired_watermark, q.next_seq);
     }
 
     #[test]
@@ -419,13 +648,29 @@ mod tests {
     }
 
     #[test]
-    fn cancel_then_pop_marks_done() {
+    fn cancelled_event_reports_retired() {
         let mut q = EventQueue::new();
         let a = q.schedule_at(SimTime::from_secs(1), ());
         q.schedule_at(SimTime::from_secs(2), ());
+        assert!(!q.has_fired(a));
         q.cancel(a);
-        q.pop(); // discards `a`, delivers the 2 s event
+        // Retirement is immediate — no lazy-discard window as in the old
+        // design, where this only became true after `a` surfaced at the
+        // heap root.
+        assert!(q.has_fired(a));
         assert!(!q.cancel(a));
+        q.pop();
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.heap.capacity() >= 64);
+        assert!(q.slots.capacity() >= 64);
+        for i in 0..64u64 {
+            q.schedule_at(SimTime::from_secs(i + 1), i);
+        }
+        assert_eq!(q.len(), 64);
     }
 }

@@ -18,15 +18,30 @@
 //! assert_eq!((t.events_scheduled, t.events_dispatched), (1, 1));
 //! ```
 //!
-//! The counters are plain `Cell`s: no atomics, no locks, and — because
-//! they never influence simulation behaviour — no effect on determinism.
+//! Hot-path cost: the queue does **not** touch thread-local storage per
+//! operation. It accumulates plain-field deltas and folds them in with one
+//! crate-internal `flush` per pop (and one on queue drop, covering events scheduled but
+//! never dispatched), so a schedule-heavy workload pays zero TLS lookups
+//! and a pop pays exactly one. All counters live in a single `thread_local`
+//! struct, so one access reaches all of them. Because they never influence
+//! simulation behaviour, they have no effect on determinism.
 
 use std::cell::Cell;
 
+struct Counters {
+    scheduled: Cell<u64>,
+    dispatched: Cell<u64>,
+    peak_depth: Cell<usize>,
+}
+
 thread_local! {
-    static SCHEDULED: Cell<u64> = const { Cell::new(0) };
-    static DISPATCHED: Cell<u64> = const { Cell::new(0) };
-    static PEAK_DEPTH: Cell<usize> = const { Cell::new(0) };
+    static COUNTERS: Counters = const {
+        Counters {
+            scheduled: Cell::new(0),
+            dispatched: Cell::new(0),
+            peak_depth: Cell::new(0),
+        }
+    };
 }
 
 /// A snapshot of this thread's counters since the last [`reset`].
@@ -41,34 +56,38 @@ pub struct Telemetry {
 }
 
 /// Zero this thread's counters (call before metering a workload).
+///
+/// Queues created before the reset still hold unflushed schedule deltas;
+/// meter whole queue lifetimes (as the experiment runner does) rather than
+/// resetting mid-run.
 pub fn reset() {
-    SCHEDULED.with(|c| c.set(0));
-    DISPATCHED.with(|c| c.set(0));
-    PEAK_DEPTH.with(|c| c.set(0));
+    COUNTERS.with(|c| {
+        c.scheduled.set(0);
+        c.dispatched.set(0);
+        c.peak_depth.set(0);
+    });
 }
 
 /// Read this thread's counters.
 pub fn snapshot() -> Telemetry {
-    Telemetry {
-        events_scheduled: SCHEDULED.with(Cell::get),
-        events_dispatched: DISPATCHED.with(Cell::get),
-        peak_queue_depth: PEAK_DEPTH.with(Cell::get),
-    }
+    COUNTERS.with(|c| Telemetry {
+        events_scheduled: c.scheduled.get(),
+        events_dispatched: c.dispatched.get(),
+        peak_queue_depth: c.peak_depth.get(),
+    })
 }
 
-/// Record one schedule into a queue whose live depth is now `depth`.
-pub(crate) fn note_schedule(depth: usize) {
-    SCHEDULED.with(|c| c.set(c.get() + 1));
-    PEAK_DEPTH.with(|c| {
-        if depth > c.get() {
-            c.set(depth);
+/// Fold a batch of queue activity into this thread's counters: `scheduled`
+/// schedules, `dispatched` pops, and a queue whose peak live depth so far
+/// is `peak_depth` (maxed in, so repeated flushes are idempotent on peak).
+pub(crate) fn flush(scheduled: u64, dispatched: u64, peak_depth: usize) {
+    COUNTERS.with(|c| {
+        c.scheduled.set(c.scheduled.get() + scheduled);
+        c.dispatched.set(c.dispatched.get() + dispatched);
+        if peak_depth > c.peak_depth.get() {
+            c.peak_depth.set(peak_depth);
         }
     });
-}
-
-/// Record one pop from a queue.
-pub(crate) fn note_dispatch() {
-    DISPATCHED.with(|c| c.set(c.get() + 1));
 }
 
 #[cfg(test)]
@@ -78,14 +97,31 @@ mod tests {
     #[test]
     fn counters_accumulate_and_reset() {
         reset();
-        note_schedule(3);
-        note_schedule(1);
-        note_dispatch();
+        flush(1, 0, 3);
+        flush(1, 1, 1);
         let t = snapshot();
         assert_eq!(t.events_scheduled, 2);
         assert_eq!(t.events_dispatched, 1);
-        assert_eq!(t.peak_queue_depth, 3);
+        assert_eq!(t.peak_queue_depth, 3, "peak is a running max");
         reset();
         assert_eq!(snapshot(), Telemetry::default());
+    }
+
+    #[test]
+    fn queue_flushes_on_pop_and_on_drop() {
+        reset();
+        let mut q = crate::EventQueue::new();
+        q.schedule_at(crate::SimTime::from_secs(1), ());
+        q.schedule_at(crate::SimTime::from_secs(2), ());
+        q.pop();
+        // One pop flushed both pending schedules and the dispatch.
+        let t = snapshot();
+        assert_eq!((t.events_scheduled, t.events_dispatched), (2, 1));
+        assert_eq!(t.peak_queue_depth, 2);
+        // The undispatched remainder is flushed when the queue drops.
+        q.schedule_at(crate::SimTime::from_secs(3), ());
+        drop(q);
+        let t = snapshot();
+        assert_eq!((t.events_scheduled, t.events_dispatched), (3, 1));
     }
 }

@@ -108,6 +108,26 @@ impl Scenario {
         self
     }
 
+    /// Calibrated estimate of the trace records this scenario will
+    /// produce, used to pre-size the trace and avoid reallocation (and
+    /// the copy of up to tens of MB of records) mid-run.
+    ///
+    /// The 50 Kbit/s bottleneck serves at most 12.5 data packets/s per
+    /// direction (80 ms each), each matched by roughly one ACK; a packet
+    /// crossing the dumbbell leaves ≤ 11 queue/delivery records, plus
+    /// per-ACK protocol annotations. Engine-telemetry calibration of
+    /// paper-scale two-way runs (`timings.json` events vs. trace length)
+    /// lands at 600–900 records per simulated second, independent of
+    /// connection count — the bottleneck line, not the connections,
+    /// bounds the event rate. 1200/s buys headroom for drop and
+    /// retransmission bursts at ≈ 1.2 M records (under 100 MB) for the
+    /// longest 1000 s paper runs.
+    fn trace_records_estimate(&self) -> usize {
+        const RECORDS_PER_SIM_SEC: u64 = 1200;
+        let secs = self.duration.as_nanos() / 1_000_000_000;
+        ((secs + 1) * RECORDS_PER_SIM_SEC) as usize
+    }
+
     /// Build the world, attach the endpoints, run, and return the results.
     pub fn run(&self) -> Run {
         assert!(
@@ -131,6 +151,8 @@ impl Scenario {
             .set_mark_threshold(d.bottleneck_12, self.mark_threshold);
         d.world
             .set_mark_threshold(d.bottleneck_21, self.mark_threshold);
+        d.world.trace_mut().set_enabled(self.record_trace);
+        d.world.reserve_trace(self.trace_records_estimate());
         let mut rng = SimRng::new(self.seed).derive(0xA11C);
         let mut conns = Vec::new();
         let mut senders = BTreeMap::new();
@@ -368,5 +390,50 @@ mod tests {
         let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20));
         sc.warmup = sc.duration;
         let _ = sc.run();
+    }
+
+    /// Calibration guard for the trace pre-allocation: a busy two-way run
+    /// must fit inside the estimate (so the reservation really does kill
+    /// reallocation) without the estimate being orders of magnitude
+    /// oversized.
+    #[test]
+    fn trace_reservation_covers_a_busy_run() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(5, ConnSpec::paper())
+            .with_rev(5, ConnSpec::paper());
+        sc.duration = SimDuration::from_secs(60);
+        sc.warmup = SimDuration::from_secs(10);
+        let estimate = sc.trace_records_estimate();
+        let run = sc.run();
+        let len = run.world.trace().len();
+        assert!(
+            len <= estimate,
+            "estimate {estimate} undershot actual {len}: reservation would realloc"
+        );
+        assert!(
+            len * 10 >= estimate,
+            "estimate {estimate} is >10x actual {len}: wasting memory"
+        );
+        assert!(run.world.trace().capacity() >= estimate);
+    }
+
+    #[test]
+    fn record_trace_off_disables_recording() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(1, ConnSpec::paper())
+            .with_rev(1, ConnSpec::paper());
+        sc.duration = SimDuration::from_secs(20);
+        sc.warmup = SimDuration::from_secs(2);
+        sc.record_trace = false;
+        let run = sc.run();
+        assert!(run.world.trace().is_empty(), "disabled trace recorded");
+        assert_eq!(run.world.trace().capacity(), 0, "disabled trace allocated");
+        // The simulation itself must be unaffected by tracing.
+        sc.record_trace = true;
+        let traced = sc.run();
+        assert_eq!(
+            run.world.events_dispatched(),
+            traced.world.events_dispatched()
+        );
     }
 }

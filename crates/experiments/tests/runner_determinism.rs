@@ -4,6 +4,17 @@
 use td_experiments::registry::find;
 use td_experiments::runner::{run_batch, RunnerConfig};
 
+/// FNV-1a over a byte stream — the same stable hash everywhere in the
+/// workspace, so a golden value pins output bytes, not formatting luck.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Full observable surface of a report: rendered text, markdown, CSV and
 /// blob bytes.
 fn rendered(batch: &td_experiments::runner::BatchResult) -> Vec<(String, Vec<u8>)> {
@@ -53,3 +64,35 @@ fn parallel_run_is_byte_identical_to_sequential() {
         assert_eq!(a.timing.peak_queue_depth, b.timing.peak_queue_depth);
     }
 }
+
+/// Cross-version regression pin: the hash below was recorded from the
+/// pre-slab `EventQueue` (`BinaryHeap` + lazy cancellation). Any engine
+/// change that perturbs event ordering — and therefore any experiment
+/// byte — flips this hash. If it fails, the queue changed observable
+/// simulation behaviour; that is a bug, not a baseline to re-record.
+#[test]
+fn experiment_output_bytes_match_golden_hash() {
+    let entries = vec![find("fig8").unwrap(), find("short-flows").unwrap()];
+    let batch = run_batch(
+        &entries,
+        &RunnerConfig {
+            jobs: 2,
+            master_seed: 7,
+            replicates: 1,
+            ..RunnerConfig::new()
+        },
+    );
+    let stream = rendered(&batch)
+        .into_iter()
+        .flat_map(|(id, bytes)| id.into_bytes().into_iter().chain(bytes));
+    let h = fnv1a(stream);
+    assert_eq!(
+        h, GOLDEN_OUTPUT_HASH,
+        "experiment output bytes diverged from the pre-change engine \
+         (got {h:#018x})"
+    );
+}
+
+/// FNV-1a of the rendered fig8 + short-flows batch (seed 7, quick profile),
+/// recorded against the pre-slab binary-heap event queue.
+const GOLDEN_OUTPUT_HASH: u64 = 0xb4f1_f25c_be23_ce63;

@@ -160,6 +160,31 @@ impl Trace {
         }
     }
 
+    /// An enabled trace with room for `records` records before the first
+    /// reallocation. Long paper-scale runs append millions of records;
+    /// pre-sizing from a calibrated estimate (or a previous run's
+    /// [`Trace::len`] / engine telemetry) removes the doubling-and-copy
+    /// spikes from the hot loop.
+    pub fn with_capacity(records: usize) -> Self {
+        Trace {
+            records: Vec::with_capacity(records),
+            enabled: true,
+        }
+    }
+
+    /// Reserve room for at least `additional` further records (no-op when
+    /// recording is disabled — a disabled trace never allocates).
+    pub fn reserve(&mut self, additional: usize) {
+        if self.enabled {
+            self.records.reserve(additional);
+        }
+    }
+
+    /// Records the trace can hold before reallocating.
+    pub fn capacity(&self) -> usize {
+        self.records.capacity()
+    }
+
     /// Disable recording (for benchmark runs where only the online counters
     /// matter). Already-recorded events are kept.
     pub fn set_enabled(&mut self, enabled: bool) {
@@ -248,6 +273,19 @@ mod tests {
         );
         assert!(tr.is_empty());
         assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_preallocate() {
+        let mut tr = Trace::with_capacity(100);
+        assert!(tr.capacity() >= 100);
+        tr.reserve(500);
+        assert!(tr.capacity() >= 500);
+        // A disabled trace refuses to allocate: it will never be read.
+        let mut off = Trace::new();
+        off.set_enabled(false);
+        off.reserve(1 << 20);
+        assert_eq!(off.capacity(), 0);
     }
 
     #[test]

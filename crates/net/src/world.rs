@@ -334,11 +334,10 @@ impl World {
     /// Run until no event at or before `t_end` remains. Events scheduled
     /// exactly at `t_end` do fire.
     pub fn run_until(&mut self, t_end: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > t_end {
-                break;
-            }
-            let (t, ev) = self.queue.pop().expect("peeked event exists");
+        // Single bounded pop per iteration: the old peek-then-pop pair
+        // (and its "peeked event exists" coupling) predates true
+        // cancellation, when peeking had to mutate to discard tombstones.
+        while let Some((t, ev)) = self.queue.pop_at_or_before(t_end) {
             self.dispatch(t, ev);
         }
     }
@@ -356,17 +355,13 @@ impl World {
     /// the time bound was reached, `false` if the budget ran out first.
     pub fn run_until_bounded(&mut self, t_end: SimTime, max_events: u64) -> bool {
         let stop_at = self.queue.dispatched().saturating_add(max_events);
-        while let Some(t) = self.queue.peek_time() {
-            if t > t_end {
-                return true;
+        while self.queue.dispatched() < stop_at {
+            match self.queue.pop_at_or_before(t_end) {
+                Some((t, ev)) => self.dispatch(t, ev),
+                None => return true,
             }
-            if self.queue.dispatched() >= stop_at {
-                return false;
-            }
-            let (t, ev) = self.queue.pop().expect("peeked event exists");
-            self.dispatch(t, ev);
         }
-        true
+        false
     }
 
     /// Total events dispatched so far.
@@ -394,6 +389,14 @@ impl World {
     /// Mutable trace access (enable/disable/clear).
     pub fn trace_mut(&mut self) -> &mut Trace {
         &mut self.trace
+    }
+
+    /// Pre-allocate trace storage for `records` further records, so a long
+    /// run appends without reallocation. Scenario builders size this from
+    /// engine telemetry calibrations (see `td-experiments`); callers with
+    /// a measured run can pass a prior run's `trace().len()` directly.
+    pub fn reserve_trace(&mut self, records: usize) {
+        self.trace.reserve(records);
     }
 
     /// Online counters for a channel.
