@@ -66,6 +66,6 @@ pub use extract::{
 pub use period::{autocorrelation, dominant_period, jain_fairness};
 pub use series::TimeSeries;
 pub use sojourn::{mean_ack_sojourn, sojourns, Sojourn};
-pub use stats::{mean, pearson, power_law_exponent, variance};
+pub use stats::{mean, pearson, power_law_exponent, variance, RunningStats};
 pub use svg::SvgPlot;
 pub use sync::{classify_sync, SyncMode};

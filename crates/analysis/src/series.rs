@@ -11,7 +11,7 @@ use td_engine::SimTime;
 
 /// A piecewise-constant series of `(time, value)` change points, in
 /// nondecreasing time order.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }

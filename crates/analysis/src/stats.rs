@@ -37,7 +37,16 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
     if sxx == 0.0 || syy == 0.0 {
         return None;
     }
-    Some(sxy / (sxx * syy).sqrt())
+    // `sxx * syy` can underflow to 0 (or overflow to inf) even when both
+    // factors are nonzero, and NaN inputs poison the sums without ever
+    // comparing equal to 0 — either way `sxy / (sxx*syy).sqrt()` would be
+    // a non-finite "correlation". Undefined is `None`, never `Some(NaN)`.
+    let r = sxy / (sxx * syy).sqrt();
+    if r.is_finite() {
+        Some(r)
+    } else {
+        None
+    }
 }
 
 /// Median of a sample (averages the middle pair for even lengths);
@@ -94,6 +103,27 @@ mod tests {
         assert_eq!(pearson(&[1.0], &[1.0]), None);
         assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
         assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None, "constant x");
+        assert_eq!(pearson(&[3.0, 3.0], &[3.0, 3.0]), None, "both constant");
+    }
+
+    /// Regression: `pearson` must return `None`, never `Some(NaN)` or
+    /// `Some(inf)`, when the variance product degenerates — constant
+    /// series, denormal variances whose product underflows `sxx*syy` to
+    /// zero, huge variances whose product overflows to infinity, or NaN
+    /// samples poisoning the sums.
+    #[test]
+    fn pearson_never_yields_non_finite() {
+        // Tiny variance: sxx, syy > 0 but sxx * syy underflows to 0, so
+        // the quotient was +inf before the guard.
+        let tiny = [0.0, 2e-100];
+        assert_eq!(pearson(&tiny, &tiny), None);
+        // Huge variance: sxx * syy overflows to inf → r would be 0-ish/NaN.
+        let huge = [0.0, 1e170];
+        let r = pearson(&huge, &huge);
+        assert!(r.is_none() || r.unwrap().is_finite(), "got {r:?}");
+        // NaN samples never compare equal to zero variance.
+        assert_eq!(pearson(&[f64::NAN, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[f64::NAN, 1.0]), None);
     }
 
     #[test]
@@ -119,6 +149,184 @@ mod tests {
         assert_eq!(quantile(&xs, 0.5), Some(3.0));
         assert_eq!(quantile(&xs, 1.0), Some(5.0));
         assert_eq!(quantile(&[], 0.5), None);
+    }
+}
+
+/// Mergeable summary statistics: count, mean, variance (via the parallel
+/// Welford/Chan update), min, and max.
+///
+/// Built for replicate sweeps: each worker accumulates a `RunningStats`
+/// over its own replicates' samples, and the orchestrator folds the
+/// partials together **in replicate order** with [`RunningStats::merge`].
+/// Merging is exact for count/min/max and numerically stable for
+/// mean/variance; folding the same partials in the same order always
+/// reproduces the same bits, so parallel reductions stay deterministic.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2).
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulate one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Accumulate every sample of a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Combine two accumulators (Chan et al. parallel update). The result
+    /// summarizes the concatenation of both sample streams.
+    pub fn merge(&self, other: &Self) -> Self {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * (other.n as f64 / n as f64);
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64 / n as f64);
+        RunningStats {
+            n,
+            mean,
+            m2,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Samples accumulated.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; `0.0` when empty (matching [`mean`]).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `0.0` for fewer than two samples (matching
+    /// [`variance`]).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod running_stats_tests {
+    use super::*;
+
+    #[test]
+    fn matches_batch_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = RunningStats::from_slice(&xs);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let e = RunningStats::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+        let one = RunningStats::from_slice(&[3.5]);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!((one.min(), one.max()), (Some(3.5), Some(3.5)));
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..50).map(|i| ((i * 37) % 11) as f64 - 3.0).collect();
+        let whole = RunningStats::from_slice(&xs);
+        for split in [0usize, 1, 7, 25, 49, 50] {
+            let merged = RunningStats::from_slice(&xs[..split])
+                .merge(&RunningStats::from_slice(&xs[split..]));
+            assert_eq!(merged.count(), whole.count());
+            assert!(
+                (merged.mean() - whole.mean()).abs() < 1e-10,
+                "split {split}"
+            );
+            assert!(
+                (merged.variance() - whole.variance()).abs() < 1e-10,
+                "split {split}"
+            );
+            assert_eq!(merged.min(), whole.min());
+            assert_eq!(merged.max(), whole.max());
+        }
+        // Identity on both sides.
+        assert_eq!(whole.merge(&RunningStats::new()), whole);
+        assert_eq!(RunningStats::new().merge(&whole), whole);
+    }
+
+    #[test]
+    fn same_fold_same_bits() {
+        // Deterministic reduction: folding identical partials in the same
+        // order reproduces the exact same result, bit for bit.
+        let parts: Vec<RunningStats> = (0..8)
+            .map(|k| RunningStats::from_slice(&[k as f64, k as f64 * 0.3, 7.0 - k as f64]))
+            .collect();
+        let fold = |ps: &[RunningStats]| ps.iter().fold(RunningStats::new(), |acc, p| acc.merge(p));
+        let a = fold(&parts);
+        let b = fold(&parts);
+        assert_eq!(a, b);
     }
 }
 

@@ -449,6 +449,54 @@ mod tests {
         assert_eq!(t.window(), 4, "original rule stalls ⌊cwnd⌋");
     }
 
+    /// Side-by-side pin of the §2.1 increment anomaly: drive an Original-
+    /// and a Modified-rule controller through the *identical* ACK/loss
+    /// script and watch them diverge. Starting an avoidance epoch at
+    /// integer window w, `cwnd += 1/cwnd` accumulates strictly less than
+    /// 1 over the w ACKs after the first (each increment < 1/w), so
+    /// `⌊cwnd⌋` can stall at w for the whole epoch, while
+    /// `cwnd += 1/⌊cwnd⌋` advances the floor by exactly one. This is the
+    /// bias the paper corrects and `abl-increment` measures end-to-end.
+    #[test]
+    fn original_stalls_while_modified_advances_from_identical_state() {
+        let mut orig = Tahoe::new(IncrementRule::Original, 1000);
+        let mut modi = Tahoe::new(IncrementRule::Modified, 1000);
+        let both = |o: &mut Tahoe, m: &mut Tahoe, acks: u64| {
+            for _ in 0..acks {
+                o.on_ack();
+                m.on_ack();
+            }
+        };
+        // Identical preamble: grow to 8, lose, slow-start back to
+        // avoidance at window 4.
+        both(&mut orig, &mut modi, 7);
+        orig.on_loss(LossKind::DupAck);
+        modi.on_loss(LossKind::DupAck);
+        both(&mut orig, &mut modi, 3);
+        assert_eq!(orig.window(), modi.window());
+        assert_eq!(orig.window(), 4);
+        assert!(!orig.in_slow_start() && !modi.in_slow_start());
+        // One epoch of w ACKs each: Modified's floor moves to 5,
+        // Original's stalls at 4 — same inputs, different windows.
+        both(&mut orig, &mut modi, 4);
+        assert_eq!(modi.window(), 5, "modified: exactly +1 per epoch");
+        assert_eq!(orig.window(), 4, "original: floor stalled");
+        // The stall is not a one-off: feeding both the *same* per-epoch
+        // ACK count (the modified window, the larger) keeps Original's
+        // effective window a full packet (or more) behind.
+        for _ in 0..3 {
+            let w = modi.window();
+            both(&mut orig, &mut modi, w);
+        }
+        assert_eq!(modi.window(), 8);
+        assert!(
+            orig.window() < modi.window(),
+            "original ({}) must lag modified ({}) after identical inputs",
+            orig.window(),
+            modi.window()
+        );
+    }
+
     #[test]
     fn ssthresh_floor_is_two() {
         // Paper footnote 9: a second loss with cwnd = 1 drives ssthresh to

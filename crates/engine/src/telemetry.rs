@@ -77,6 +77,15 @@ pub fn snapshot() -> Telemetry {
     })
 }
 
+/// Fold a snapshot taken on *another* thread into this thread's counters:
+/// counts add, peak depth maxes in. Parallel harnesses (replicate sweeps)
+/// meter each helper-run work item with a `reset`/`snapshot` pair and
+/// merge the deltas back into the orchestrating thread, so its totals
+/// match what a sequential run of the same items would have recorded.
+pub fn merge(t: Telemetry) {
+    flush(t.events_scheduled, t.events_dispatched, t.peak_queue_depth);
+}
+
 /// Fold a batch of queue activity into this thread's counters: `scheduled`
 /// schedules, `dispatched` pops, and a queue whose peak live depth so far
 /// is `peak_depth` (maxed in, so repeated flushes are idempotent on peak).

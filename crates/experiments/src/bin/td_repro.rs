@@ -6,15 +6,24 @@
 //! td-repro fig45 [--full] [--seed N] [--out DIR]
 //! ```
 //!
-//! Experiments run on a worker pool (`--jobs N`, default = available
-//! cores); seeds are a pure function of `(--seed, experiment id,
-//! replicate)` — never of scheduling — so reports are byte-identical
-//! whatever the pool size. The canonical replicate runs with `--seed`
-//! verbatim; extra `--seeds` replicates get decorrelated derived seeds.
-//! Reports print to stdout (metric rows + ASCII figures) in
-//! registry order. With `--out DIR` the underlying CSV series, a markdown
-//! summary, and a `timings.json` observability report are written there;
-//! `--timings FILE` writes the timings report to an explicit path.
+//! Experiments run on a worker pool fed by one global job budget
+//! (`--jobs N`, default = available cores): workers claim a slot each
+//! while executing experiments, and idle slots — fewer experiments than
+//! jobs, or workers that ran out of work — are borrowed by
+//! *in-experiment* replicate sweeps and batched trace analysis, so one
+//! big experiment still fills the machine. Seeds are a pure function of
+//! `(--seed, experiment id, replicate)` — never of scheduling — so
+//! reports are byte-identical whatever the budget. The canonical
+//! replicate runs with `--seed` verbatim; extra `--seeds` replicates get
+//! decorrelated derived seeds. A panicking experiment is isolated: it
+//! becomes one failed report (message preserved in `timings.json`) while
+//! the rest of the batch completes. Reports print to stdout (metric
+//! rows and ASCII figures) in registry order. With `--out DIR` the
+//! underlying CSV series, a markdown summary, and a `timings.json`
+//! observability report are written there; `--timings FILE` writes the
+//! timings report to an explicit path. Both are written even when
+//! experiments fail — a red batch is exactly when the observability
+//! report matters.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -115,8 +124,9 @@ fn usage() {
     println!("  --seed N         master seed for the canonical run (default 1)");
     println!("  --seeds N        run N replicates per experiment; replicate 0 uses");
     println!("                   --seed verbatim, the rest get derived seeds");
+    println!("  --jobs N         global job budget: cross-experiment workers plus",);
     println!(
-        "  --jobs N         worker threads (default: available cores = {})",
+        "                   in-experiment sweep slots (default: cores = {})",
         default_jobs()
     );
     println!("  --out DIR        also write CSV data, a markdown summary, and timings.json");
@@ -167,10 +177,10 @@ fn main() -> ExitCode {
         progress: true,
     };
     eprintln!(
-        "running {} experiment(s) × {} seed(s) on {} worker(s) ...",
+        "running {} experiment(s) × {} seed(s) on a {}-job budget ...",
         entries.len(),
         args.seeds,
-        cfg.jobs.clamp(1, entries.len() * args.seeds as usize)
+        cfg.jobs.max(1)
     );
     let batch = run_batch(&entries, &cfg);
 
@@ -193,27 +203,37 @@ fn main() -> ExitCode {
         }
     }
 
+    // Persist observability and outputs unconditionally — and
+    // independently of each other — before deciding the exit code: a red
+    // batch (mismatches or panics) is exactly when timings.json and the
+    // partial outputs matter most.
+    let mut io_failed = false;
     if let Err(e) = write_timings(&args, &batch) {
         eprintln!("error writing timings: {e}");
-        return ExitCode::FAILURE;
+        io_failed = true;
     }
     if let Some(dir) = &args.out {
         let reports: Vec<_> = batch.primary().map(|r| r.report.clone()).collect();
-        if let Err(e) = write_outputs(dir, &reports) {
-            eprintln!("error writing outputs: {e}");
-            return ExitCode::FAILURE;
+        match write_outputs(dir, &reports) {
+            Err(e) => {
+                eprintln!("error writing outputs: {e}");
+                io_failed = true;
+            }
+            Ok(()) => eprintln!("wrote CSVs and summary to {}", dir.display()),
         }
-        eprintln!("wrote CSVs and summary to {}", dir.display());
     }
 
+    for (id, replicate, msg) in batch.panics() {
+        eprintln!("PANIC in {id} (replicate {replicate}): {msg}");
+    }
     let ok = batch.primary().filter(|r| r.report.all_ok()).count();
     eprintln!(
-        "{ok}/{} experiments fully in-band, {:.1}s wall clock on {} worker(s)",
+        "{ok}/{} experiments fully in-band, {:.1}s wall clock on a {}-job budget",
         batch.primary().count(),
         batch.total_wall_s,
         batch.jobs
     );
-    if batch.all_ok() {
+    if batch.all_ok() && !io_failed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -51,6 +51,8 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
         ),
     );
     let (c1, c2) = (run.fwd[0], run.rev[0]);
+    // One batched (parallel) trace scan feeds every series question below.
+    let (q1, q2, cw1, cw2) = run.queues_and_cwnds(c1, c2);
 
     // Utilization ~70 %.
     let (u12, u21) = (run.util12(), run.util21());
@@ -66,20 +68,26 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     // grows with the buffer as fast as the cycle does.
     let base_sojourn = mean_ack_sojourn(run.world.trace(), run.bottleneck_12, run.t0, run.t1)
         .expect("acks crossed the bottleneck");
-    let mut sweep_sojourns = vec![(20u32, base_sojourn)];
-    for buffer in [60u32, 120] {
-        // Bigger buffers stretch the window cycle (queueing delay grows
-        // with occupancy), so the run must stretch too to average over
-        // whole cycles.
+    // The B = 60 / 120 cells are independent simulations: fan them out on
+    // idle job slots. Bigger buffers stretch the window cycle (queueing
+    // delay grows with occupancy), so each run stretches too to average
+    // over whole cycles. Workers reduce their multi-MB traces to three
+    // numbers before returning, and rows are emitted in buffer order, so
+    // the report is byte-identical to the old sequential loop.
+    let sweep_cells = crate::sweep::parallel_map(&[60u32, 120], |_, &buffer| {
         let r = scenario(seed, duration_s * buffer as u64 / 20, buffer).run();
-        let (a, b) = (r.util12(), r.util21());
+        let sojourn = mean_ack_sojourn(r.world.trace(), r.bottleneck_12, r.t0, r.t1);
+        (r.util12(), r.util21(), sojourn)
+    });
+    let mut sweep_sojourns = vec![(20u32, base_sojourn)];
+    for (&buffer, (a, b, sojourn)) in [60u32, 120].iter().zip(sweep_cells) {
         rep.check(
             &format!("utilization (B = {buffer})"),
             "~0.70 — infinite buffers would not fix it",
             format!("{a:.3} / {b:.3}"),
             (0.55..=0.85).contains(&a) && (0.55..=0.85).contains(&b),
         );
-        if let Some(sj) = mean_ack_sojourn(r.world.trace(), r.bottleneck_12, r.t0, r.t1) {
+        if let Some(sj) = sojourn {
             sweep_sojourns.push((buffer, sj));
         }
     }
@@ -115,8 +123,6 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     );
 
     // Square waves: queue falls by many packets within one service time.
-    let q1 = run.queue1();
-    let q2 = run.queue2();
     let fl1 = compression::queue_fluctuation(&q1, run.t0, run.t1, DATA_SERVICE);
     rep.check(
         "max queue fall within one data service time",
@@ -126,7 +132,6 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     );
 
     // Out-of-phase window synchronization.
-    let (cw1, cw2) = (run.cwnd(c1), run.cwnd(c2));
     let (mode, r) = classify_sync(&cw1, &cw2, run.t0, run.t1, 800, 5, 0.15);
     rep.check(
         "window synchronization",

@@ -34,17 +34,22 @@ pub fn scenario(seed: u64, duration_s: u64) -> Scenario {
 }
 
 /// Fraction of the window during which *both* queues are empty and both
-/// lines idle (paper: nonzero for the large-pipe case).
-fn both_idle_fraction(run: &crate::scenario::Run) -> f64 {
+/// lines idle (paper: nonzero for the large-pipe case). Takes the
+/// already-extracted queue series so the (batched) trace scan happens
+/// once per report, not once per question.
+fn both_idle_fraction(
+    q1: &td_analysis::TimeSeries,
+    q2: &td_analysis::TimeSeries,
+    t0: SimTime,
+    t1: SimTime,
+) -> f64 {
     // Sample both queue series on a fine grid and measure simultaneous
     // emptiness; combined with the in-service flag via utilization the
     // queue series alone is the right signal (occupancy includes the
     // packet being serialized).
-    let q1 = run.queue1();
-    let q2 = run.queue2();
     let n = 4000;
-    let a = q1.resample(run.t0, run.t1, n);
-    let b = q2.resample(run.t0, run.t1, n);
+    let a = q1.resample(t0, t1, n);
+    let b = q2.resample(t0, t1, n);
     let both = a
         .iter()
         .zip(&b)
@@ -65,6 +70,8 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
         ),
     );
     let (c1, c2) = (run.fwd[0], run.rev[0]);
+    // One batched (parallel) trace scan feeds every series question below.
+    let (q1, q2, cw1, cw2) = run.queues_and_cwnds(c1, c2);
 
     let (u12, u21) = (run.util12(), run.util21());
     rep.check(
@@ -75,7 +82,6 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     );
 
     // In-phase window synchronization.
-    let (cw1, cw2) = (run.cwnd(c1), run.cwnd(c2));
     let (mode, r) = classify_sync(&cw1, &cw2, run.t0, run.t1, 800, 5, 0.15);
     rep.check(
         "window synchronization",
@@ -102,7 +108,7 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     );
 
     // Both lines simultaneously idle at times.
-    let idle_both = both_idle_fraction(&run);
+    let idle_both = both_idle_fraction(&q1, &q2, run.t0, run.t1);
     rep.check(
         "both lines idle simultaneously",
         "> 0 (unlike the small-pipe case)",
@@ -111,7 +117,6 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     );
 
     // ACK-compression square waves.
-    let q1 = run.queue1();
     let fl = compression::queue_fluctuation(&q1, run.t0, run.t1, DATA_SERVICE);
     rep.check(
         "max queue fall within one data service time",
@@ -140,7 +145,6 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
         .marks(&drop_times, '*')
         .render(),
     );
-    let q2 = run.queue2();
     rep.plots.push(
         Plot::new(
             "Fig 6 (bottom): queue at switch 2   [* = drop]",

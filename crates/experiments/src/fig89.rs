@@ -44,8 +44,9 @@ pub fn report_fig8(seed: u64, duration_s: u64) -> Report {
             run.t0
         ),
     );
-    let q1 = run.queue1();
-    let q2 = run.queue2();
+    // Batched extraction: pure scans, byte-identical to sequential — safe
+    // under the golden output hash that pins this report.
+    let (q1, q2) = run.queues();
 
     let q1max = q1.max_in(run.t0, run.t1).unwrap_or(0.0);
     let q2max = q2.max_in(run.t0, run.t1).unwrap_or(0.0);
@@ -154,8 +155,7 @@ pub fn report_fig9(seed: u64, duration_s: u64) -> Report {
             run.t0
         ),
     );
-    let q1 = run.queue1();
-    let q2 = run.queue2();
+    let (q1, q2) = run.queues();
 
     let q1max = q1.max_in(run.t0, run.t1).unwrap_or(0.0);
     let q2max = q2.max_in(run.t0, run.t1).unwrap_or(0.0);

@@ -30,6 +30,7 @@ pub mod runner;
 pub mod scenario;
 pub mod short_flows;
 pub mod simcli;
+pub mod sweep;
 
 pub use report::{Report, Row};
 pub use scenario::{ConnSpec, Run, Scenario, ACK_SERVICE, DATA_SERVICE};

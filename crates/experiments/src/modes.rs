@@ -17,6 +17,7 @@
 use crate::fig45;
 use crate::fig67;
 use crate::report::Report;
+use crate::sweep::ReplicateSweep;
 use td_analysis::sync::{classify_sync, SyncMode};
 
 /// Classify one run's mode.
@@ -47,14 +48,22 @@ pub fn report(seed0: u64, duration_s: u64) -> Report {
         ),
     );
 
-    // Small pipe: out-of-phase should dominate.
+    // Small pipe: out-of-phase should dominate. The ten start phases are
+    // independent runs — a ReplicateSweep fans them over idle job slots;
+    // each worker classifies its own run (dropping the trace worker-side)
+    // and the census is folded in seed order, so the tallies are
+    // identical to the old sequential loop at any job count.
+    let census = ReplicateSweep::explicit("tbl-modes", seeds.clone());
+    let small: Vec<(SyncMode, f64)> = census.run(|seed, _| {
+        let run = fig45::scenario(seed, duration_s, 20).run();
+        let (m, _r, util) = mode_of(&run);
+        (m, util)
+    });
     let mut counts = (0usize, 0usize, 0usize); // (out, in, indeterminate)
     let mut out_utils = Vec::new();
     let mut in_utils = Vec::new();
     let mut in_seeds = Vec::new();
-    for &seed in &seeds {
-        let run = fig45::scenario(seed, duration_s, 20).run();
-        let (m, _r, util) = mode_of(&run);
+    for (&seed, &(m, util)) in seeds.iter().zip(&small) {
         match m {
             SyncMode::OutOfPhase => {
                 counts.0 += 1;
@@ -131,13 +140,14 @@ pub fn report(seed0: u64, duration_s: u64) -> Report {
         );
     }
 
-    // Large pipe: in-phase across phases.
-    let mut in_phase = 0;
-    for &seed in &seeds {
-        let run = fig67::scenario(seed, duration_s * 2).run();
-        let (m, _, _) = mode_of(&run);
-        in_phase += (m == SyncMode::InPhase) as usize;
-    }
+    // Large pipe: in-phase across phases — same sweep discipline.
+    let in_phase: usize = census
+        .run(|seed, _| {
+            let run = fig67::scenario(seed, duration_s * 2).run();
+            (mode_of(&run).0 == SyncMode::InPhase) as usize
+        })
+        .into_iter()
+        .sum();
     rep.check(
         "large pipe: in-phase fraction",
         "in-phase for large P (the paper's rule)",

@@ -21,6 +21,14 @@ pub struct Entry {
 }
 
 impl Entry {
+    /// Build an ad-hoc entry outside the registry. Used by harness tests
+    /// and benches that need a controlled runner (e.g. one that panics on
+    /// purpose to exercise the pool's fault isolation) without touching
+    /// the presentation-order registry below.
+    pub fn new(id: &'static str, about: &'static str, runner: fn(u64, Profile) -> Report) -> Self {
+        Entry { id, about, runner }
+    }
+
     /// Execute with the given seed and profile.
     pub fn run(&self, seed: u64, profile: Profile) -> Report {
         (self.runner)(seed, profile)

@@ -17,7 +17,22 @@
 //!    downstream output is ordered like the registry regardless of which
 //!    worker finishes first.
 //!
-//! The pool is also the observability hook: each task is metered with
+//! Parallelism is **two-level**: `--jobs` is one global budget
+//! ([`crate::sweep::JobBudget`]). Each worker here owns one slot while it
+//! executes experiments; whatever is left over — fewer tasks than jobs, or
+//! workers that ran out of tasks and retired — stays available, and
+//! in-experiment replicate sweeps ([`crate::sweep`]) borrow those idle
+//! slots to run their replicates concurrently. The split is
+//! work-stealing-free: slots move only through the budget's two atomics,
+//! never tasks between queues, and granting a sweep more or fewer slots
+//! can only change the wall clock, never a byte of output.
+//!
+//! The pool is also fault-isolated: every task runs under
+//! [`std::panic::catch_unwind`], so one panicking scenario becomes one
+//! failed [`ExperimentResult`] (panic message preserved in
+//! `timings.json`) instead of a poisoned batch.
+//!
+//! Finally, the pool is the observability hook: each task is metered with
 //! wall-clock time and the engine's per-thread [`td_engine::telemetry`]
 //! counters (events scheduled/dispatched, peak pending-event depth), and
 //! the whole run can be serialized as a `timings.json` report — the
@@ -25,17 +40,22 @@
 
 use crate::registry::{Entry, Profile};
 use crate::report::Report;
+use crate::sweep;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 use std::time::Instant;
+use td_analysis::RunningStats;
 
-/// Derive the seed for one experiment from the run's master seed.
+/// Derive the seed for one `(experiment, replicate)` cell from the run's
+/// master seed.
 ///
-/// The experiment id is folded with FNV-1a and mixed with the master seed
-/// through a SplitMix64 finalizer, so every `(master_seed, id)` pair gets
-/// an independent, platform-stable seed. Changing the pool size, the
-/// registry order, or the set of experiments run cannot perturb any other
-/// experiment's stream.
+/// The experiment id and the replicate index are folded with FNV-1a and
+/// mixed with the master seed through a SplitMix64 finalizer, so every
+/// `(master_seed, id, replicate)` triple gets an independent,
+/// platform-stable seed. Changing the pool size, the registry order, the
+/// set of experiments run, or the replicate count cannot perturb any
+/// other cell's stream.
 ///
 /// Replicate 0 deliberately does *not* go through this derivation (see
 /// [`run_batch`]): the canonical report must match a direct
@@ -43,10 +63,11 @@ use std::time::Instant;
 /// seed-sensitive phenomena (e.g. the fig45 synchronization bands) that
 /// the paper demonstrates at the canonical seed. Derivation decorrelates
 /// the *additional* replicates, which would otherwise all rerun the same
-/// stream.
-pub fn derive_seed(master_seed: u64, experiment_id: &str) -> u64 {
+/// stream. In-experiment sweeps reuse the same discipline via
+/// [`crate::sweep::ReplicateSweep::derived`].
+pub fn derive_seed(master_seed: u64, experiment_id: &str, replicate: u64) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in experiment_id.bytes() {
+    for b in experiment_id.bytes().chain(replicate.to_le_bytes()) {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -63,12 +84,13 @@ pub fn derive_seed(master_seed: u64, experiment_id: &str) -> u64 {
 /// How the pool should execute a batch.
 #[derive(Clone, Copy, Debug)]
 pub struct RunnerConfig {
-    /// Worker threads (clamped to at least 1).
+    /// The global job budget: worker threads here plus borrowed slots for
+    /// in-experiment replicate sweeps (clamped to at least 1).
     pub jobs: usize,
     /// Run profile handed to every entry.
     pub profile: Profile,
     /// Master seed. Replicate 0 receives it verbatim; replicate `r > 0`
-    /// runs with `derive_seed(master_seed + r, id)`.
+    /// runs with `derive_seed(master_seed, id, r)`.
     pub master_seed: u64,
     /// Replicates per experiment. Replicate 0 is the canonical run whose
     /// report is printed; all replicates contribute pass/fail counts.
@@ -124,8 +146,13 @@ pub struct ExperimentResult {
     pub replicate: u64,
     /// The seed the experiment actually ran with.
     pub seed: u64,
-    /// The experiment's report.
+    /// The experiment's report. For a panicked task this is a synthetic
+    /// report whose single failing row carries the panic message, so it
+    /// counts against `all_ok` like any other mismatch.
     pub report: Report,
+    /// The panic message, if the experiment panicked instead of
+    /// completing (also serialized into `timings.json`).
+    pub panic: Option<String>,
     /// Observability counters.
     pub timing: Timing,
 }
@@ -135,7 +162,7 @@ pub struct ExperimentResult {
 pub struct BatchResult {
     /// Results ordered by `(entry index, replicate)`.
     pub results: Vec<ExperimentResult>,
-    /// Worker threads used.
+    /// Job budget used (workers + sweep slots).
     pub jobs: usize,
     /// Profile used.
     pub profile: Profile,
@@ -164,9 +191,36 @@ impl BatchResult {
         (passes, total)
     }
 
-    /// True if every checked row of every replicate passed.
+    /// True if every checked row of every replicate passed (a panicked
+    /// task is a failed row, so it makes this false without having
+    /// aborted the batch).
     pub fn all_ok(&self) -> bool {
         self.results.iter().all(|r| r.report.all_ok())
+    }
+
+    /// Tasks that panicked, as `(id, replicate, message)`.
+    pub fn panics(&self) -> Vec<(&'static str, u64, &str)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.panic.as_deref().map(|m| (r.id, r.replicate, m)))
+            .collect()
+    }
+
+    /// Per-experiment wall-clock summary across its replicates, in
+    /// registry order: `(id, stats)`. Replicate timings are folded in
+    /// replicate order with the mergeable [`RunningStats`], the same
+    /// deterministic reduction the sweeps use.
+    pub fn wall_s_by_id(&self) -> Vec<(&'static str, RunningStats)> {
+        let mut out: Vec<(&'static str, RunningStats)> = Vec::new();
+        for r in &self.results {
+            match out.last_mut() {
+                Some((id, stats)) if *id == r.id => {
+                    *stats = stats.merge(&RunningStats::from_slice(&[r.timing.wall_s]));
+                }
+                _ => out.push((r.id, RunningStats::from_slice(&[r.timing.wall_s]))),
+            }
+        }
+        out
     }
 
     /// Serialize the batch as a `timings.json` document.
@@ -188,11 +242,17 @@ impl BatchResult {
             .map(|r| r.timing.events_dispatched)
             .sum();
         out.push_str(&format!("  \"total_events_dispatched\": {events},\n"));
+        out.push_str(&format!("  \"panicked\": {},\n", self.panics().len()));
         out.push_str("  \"experiments\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let t = &r.timing;
+            let panic = match &r.panic {
+                Some(msg) => format!("\"{}\"", json_escape(msg)),
+                None => "null".into(),
+            };
             out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"replicate\": {}, \"seed\": {}, \"ok\": {}, \
+                 \"panic\": {panic}, \
                  \"wall_s\": {:.6}, \"events_scheduled\": {}, \"events_dispatched\": {}, \
                  \"peak_queue_depth\": {}}}{}\n",
                 r.id,
@@ -206,9 +266,70 @@ impl BatchResult {
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"wall_s_by_id\": [\n");
+        let by_id = self.wall_s_by_id();
+        for (i, (id, s)) in by_id.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"replicates\": {}, \"mean_s\": {:.6}, \
+                 \"min_s\": {:.6}, \"max_s\": {:.6}}}{}\n",
+                s.count(),
+                s.mean(),
+                s.min().unwrap_or(0.0),
+                s.max().unwrap_or(0.0),
+                if i + 1 == by_id.len() { "" } else { "," }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The synthetic report of a panicked task: one failing row carrying the
+/// panic message, so every downstream consumer (`all_ok`, pass counts,
+/// exit codes, summaries) treats the panic as a mismatch instead of
+/// needing a special case.
+fn panic_report(entry: &Entry, seed: u64, msg: &str) -> Report {
+    let mut rep = Report::new(
+        entry.id,
+        entry.about,
+        &format!("seed {seed} — experiment PANICKED before producing a report"),
+    );
+    rep.check(
+        "experiment completed without panicking",
+        "runs to completion",
+        format!("panicked: {msg}"),
+        false,
+    );
+    rep
 }
 
 /// Execute `entries × replicates` on a scoped-thread worker pool.
@@ -216,80 +337,118 @@ impl BatchResult {
 /// Tasks are claimed from a shared counter; results land in their task's
 /// slot, so the returned order (and every report in it) is independent of
 /// scheduling. Worker threads run experiments to completion — an
-/// experiment is never split across threads, which is what lets the
-/// engine's thread-local telemetry meter it.
+/// experiment is never split across threads (its replicate sweeps may
+/// *borrow* idle job slots, but each sweep item is metered and merged
+/// back deterministically), which is what lets the engine's thread-local
+/// telemetry meter it.
+///
+/// Fault isolation: each task runs under `catch_unwind`. A panicking
+/// experiment yields a failed [`ExperimentResult`] (message in
+/// [`ExperimentResult::panic`] and `timings.json`) and the rest of the
+/// batch keeps running; `run_batch` itself always returns a full
+/// `BatchResult` with one entry per task.
 pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
     let replicates = cfg.replicates.max(1);
     let n_tasks = entries.len() * replicates as usize;
-    let jobs = cfg.jobs.clamp(1, n_tasks.max(1));
+    let budget = cfg.jobs.max(1);
+    let workers = budget.min(n_tasks.max(1));
     let started = Instant::now();
+
+    // Two-level split: the whole `--jobs` budget goes into the shared
+    // pool, then each worker checks one slot out for as long as it lives.
+    // The surplus (jobs > tasks) is immediately borrowable by replicate
+    // sweeps inside the experiments; each worker's own slot returns to
+    // the pool when it retires, so late-finishing experiments' sweeps
+    // inherit the idle capacity.
+    sweep::budget().configure(budget);
+    let owned = sweep::budget().acquire_up_to(workers);
 
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ExperimentResult>>> =
-        (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<OnceLock<ExperimentResult>> = (0..n_tasks).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let task = next.fetch_add(1, Ordering::Relaxed);
-                if task >= n_tasks {
-                    return;
-                }
-                // Task layout: entry-major, replicate-minor.
-                let entry = &entries[task / replicates as usize];
-                let replicate = (task % replicates as usize) as u64;
-                // Replicate 0 is the canonical run: same seed, same report
-                // as a direct sequential `entry.run(master_seed, profile)`.
-                // Extra replicates get decorrelated derived seeds.
-                let seed = if replicate == 0 {
-                    cfg.master_seed
-                } else {
-                    derive_seed(cfg.master_seed.wrapping_add(replicate), entry.id)
-                };
-
-                td_engine::telemetry::reset();
-                let t0 = Instant::now();
-                let report = entry.run(seed, cfg.profile);
-                let wall_s = t0.elapsed().as_secs_f64();
-                let telem = td_engine::telemetry::snapshot();
-
-                let result = ExperimentResult {
-                    id: entry.id,
-                    replicate,
-                    seed,
-                    report,
-                    timing: Timing {
-                        wall_s,
-                        events_scheduled: telem.events_scheduled,
-                        events_dispatched: telem.events_dispatched,
-                        peak_queue_depth: telem.peak_queue_depth,
-                    },
-                };
-                if cfg.progress {
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let status = if result.report.all_ok() {
-                        "ok"
+        for _ in 0..workers {
+            scope.spawn(|| {
+                loop {
+                    let task = next.fetch_add(1, Ordering::Relaxed);
+                    if task >= n_tasks {
+                        break;
+                    }
+                    // Task layout: entry-major, replicate-minor.
+                    let entry = &entries[task / replicates as usize];
+                    let replicate = (task % replicates as usize) as u64;
+                    // Replicate 0 is the canonical run: same seed, same report
+                    // as a direct sequential `entry.run(master_seed, profile)`.
+                    // Extra replicates get decorrelated derived seeds.
+                    let seed = if replicate == 0 {
+                        cfg.master_seed
                     } else {
-                        "MISMATCH"
+                        derive_seed(cfg.master_seed, entry.id, replicate)
                     };
-                    eprintln!(
-                        "[{finished}/{n_tasks}] {} (seed {seed}): {status} in {:.1}s, {} events, peak queue {}",
-                        entry.id, wall_s, telem.events_dispatched, telem.peak_queue_depth
-                    );
+
+                    td_engine::telemetry::reset();
+                    let t0 = Instant::now();
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| entry.run(seed, cfg.profile)));
+                    let wall_s = t0.elapsed().as_secs_f64();
+                    let telem = td_engine::telemetry::snapshot();
+                    let (report, panic) = match outcome {
+                        Ok(report) => (report, None),
+                        Err(payload) => {
+                            let msg = panic_message(payload);
+                            (panic_report(entry, seed, &msg), Some(msg))
+                        }
+                    };
+
+                    let result = ExperimentResult {
+                        id: entry.id,
+                        replicate,
+                        seed,
+                        report,
+                        panic,
+                        timing: Timing {
+                            wall_s,
+                            events_scheduled: telem.events_scheduled,
+                            events_dispatched: telem.events_dispatched,
+                            peak_queue_depth: telem.peak_queue_depth,
+                        },
+                    };
+                    if cfg.progress {
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        let status = if result.panic.is_some() {
+                            "PANIC"
+                        } else if result.report.all_ok() {
+                            "ok"
+                        } else {
+                            "MISMATCH"
+                        };
+                        eprintln!(
+                            "[{finished}/{n_tasks}] {} (seed {seed}): {status} in {:.1}s, {} events, peak queue {}",
+                            entry.id, wall_s, telem.events_dispatched, telem.peak_queue_depth
+                        );
+                    }
+                    let stored = slots[task].set(result).is_ok();
+                    debug_assert!(stored, "task {task} claimed twice");
                 }
-                *slots[task].lock().unwrap() = Some(result);
+                // Retired: hand this worker's slot to in-flight sweeps.
+                sweep::budget().release(1);
             });
         }
     });
+    // Workers released their own slots as they retired; `owned` tracks
+    // what this function checked out, and the clamp in `release` keeps
+    // the arithmetic honest even if a concurrent batch reconfigured the
+    // pool mid-run.
+    sweep::budget().release(owned.saturating_sub(workers));
 
     let results = slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every task ran"))
+        .map(|s| s.into_inner().expect("every task ran"))
         .collect();
     BatchResult {
         results,
-        jobs,
+        jobs: budget,
         profile: cfg.profile,
         master_seed: cfg.master_seed,
         total_wall_s: started.elapsed().as_secs_f64(),
@@ -303,15 +462,18 @@ mod tests {
 
     #[test]
     fn derive_seed_is_stable_and_separating() {
-        assert_eq!(derive_seed(1, "fig2"), derive_seed(1, "fig2"));
-        assert_ne!(derive_seed(1, "fig2"), derive_seed(2, "fig2"));
-        assert_ne!(derive_seed(1, "fig2"), derive_seed(1, "fig3"));
-        // Id and master must not be interchangeable by concatenation-style
-        // collisions: nearby masters across different ids stay distinct.
+        assert_eq!(derive_seed(1, "fig2", 1), derive_seed(1, "fig2", 1));
+        assert_ne!(derive_seed(1, "fig2", 1), derive_seed(2, "fig2", 1));
+        assert_ne!(derive_seed(1, "fig2", 1), derive_seed(1, "fig3", 1));
+        assert_ne!(derive_seed(1, "fig2", 1), derive_seed(1, "fig2", 2));
+        // Id, master, and replicate must not be interchangeable by
+        // concatenation-style collisions: nearby cells stay distinct.
         let mut seen = std::collections::HashSet::new();
-        for master in 0..50u64 {
+        for master in 0..20u64 {
             for id in ["fig2", "fig3", "fig45", "modes"] {
-                assert!(seen.insert(derive_seed(master, id)), "collision");
+                for replicate in 1..4u64 {
+                    assert!(seen.insert(derive_seed(master, id, replicate)), "collision");
+                }
             }
         }
     }
@@ -339,6 +501,12 @@ mod tests {
         let (passes, total) = batch.pass_count("fig8");
         assert_eq!(total, 2);
         assert!(passes <= 2);
+        // Replicate timing aggregates fold in registry order.
+        let by_id = batch.wall_s_by_id();
+        assert_eq!(by_id.len(), 2);
+        assert_eq!(by_id[0].0, "short-flows");
+        assert_eq!(by_id[0].1.count(), 2);
+        assert_eq!(by_id[1].0, "fig8");
     }
 
     #[test]
@@ -357,10 +525,14 @@ mod tests {
             "\"jobs\"",
             "\"profile\": \"quick\"",
             "\"total_wall_s\"",
+            "\"panicked\": 0",
             "\"experiments\"",
             "\"id\": \"short-flows\"",
+            "\"panic\": null",
             "\"events_dispatched\"",
             "\"peak_queue_depth\"",
+            "\"wall_s_by_id\"",
+            "\"mean_s\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -370,5 +542,51 @@ mod tests {
         assert!(r.timing.peak_queue_depth > 0);
         assert!(r.timing.events_scheduled >= r.timing.events_dispatched);
         assert!(json.matches("{\"id\"").count() == 1 || json.contains("{\"id\": "));
+    }
+
+    #[test]
+    fn panicking_task_fails_without_aborting_the_batch() {
+        let entries = vec![
+            find("short-flows").unwrap(),
+            Entry::new(
+                "panic-probe",
+                "deliberately panics (test fixture)",
+                |seed, _| panic!("injected failure at seed {seed}"),
+            ),
+            find("fig8").unwrap(),
+        ];
+        let batch = run_batch(
+            &entries,
+            &RunnerConfig {
+                jobs: 2,
+                master_seed: 7,
+                ..RunnerConfig::new()
+            },
+        );
+        assert_eq!(batch.results.len(), 3, "all tasks produced results");
+        let probe = &batch.results[1];
+        assert_eq!(probe.id, "panic-probe");
+        assert!(!probe.report.all_ok(), "panic counts as failure");
+        assert_eq!(probe.panic.as_deref(), Some("injected failure at seed 7"));
+        assert!(batch.results[0].report.all_ok() && batch.results[0].panic.is_none());
+        assert!(batch.results[2].report.all_ok() && batch.results[2].panic.is_none());
+        assert!(!batch.all_ok());
+        assert_eq!(
+            batch.panics(),
+            vec![("panic-probe", 0, "injected failure at seed 7")]
+        );
+        // The panic message survives into timings.json, escaped.
+        let json = batch.timings_json();
+        assert!(json.contains("\"panicked\": 1"));
+        assert!(json.contains("\"panic\": \"injected failure at seed 7\""));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(
+            json_escape("say \"hi\"\\\n\tdone\u{1}"),
+            "say \\\"hi\\\"\\\\\\n\\tdone\\u0001"
+        );
     }
 }

@@ -253,6 +253,58 @@ impl Run {
         cwnd_series(self.world.trace(), conn)
     }
 
+    /// Batched trace analysis: both bottleneck queue series as
+    /// `(queue1, queue2)`, extracted by one [`crate::sweep::parallel_map`]
+    /// scan pair. Pure functions of the trace collected in fixed order —
+    /// byte-identical to two sequential calls (which is why the
+    /// golden-hash-pinned fixed-window figures may use it).
+    pub fn queues(&self) -> (TimeSeries, TimeSeries) {
+        let trace = self.world.trace();
+        let chans = [self.bottleneck_12, self.bottleneck_21];
+        let mut out =
+            crate::sweep::parallel_map(&chans, |_, &ch| queue_series(trace, ch)).into_iter();
+        (out.next().expect("queue1"), out.next().expect("queue2"))
+    }
+
+    /// Batched trace analysis: both bottleneck queue series plus the cwnd
+    /// series of connections `a` and `b`, as `(queue1, queue2, cwnd_a,
+    /// cwnd_b)`.
+    ///
+    /// The four extractions are independent scans over the same immutable
+    /// trace, so they run through [`crate::sweep::parallel_map`] on
+    /// whatever job slots are idle — the dominant post-simulation cost of
+    /// the two-way figure experiments drops to one scan's wall clock. The
+    /// scans are pure functions of the trace collected in a fixed order,
+    /// so the result is byte-identical to four sequential calls.
+    pub fn queues_and_cwnds(
+        &self,
+        a: ConnId,
+        b: ConnId,
+    ) -> (TimeSeries, TimeSeries, TimeSeries, TimeSeries) {
+        enum Job {
+            Queue(ChannelId),
+            Cwnd(ConnId),
+        }
+        let trace = self.world.trace();
+        let jobs = [
+            Job::Queue(self.bottleneck_12),
+            Job::Queue(self.bottleneck_21),
+            Job::Cwnd(a),
+            Job::Cwnd(b),
+        ];
+        let mut out = crate::sweep::parallel_map(&jobs, |_, job| match *job {
+            Job::Queue(ch) => queue_series(trace, ch),
+            Job::Cwnd(conn) => cwnd_series(trace, conn),
+        })
+        .into_iter();
+        (
+            out.next().expect("queue1"),
+            out.next().expect("queue2"),
+            out.next().expect("cwnd a"),
+            out.next().expect("cwnd b"),
+        )
+    }
+
     /// Windowed utilization of the 1→2 bottleneck line.
     pub fn util12(&self) -> f64 {
         utilization_in(self.world.trace(), self.bottleneck_12, self.t0, self.t1)
@@ -415,6 +467,25 @@ mod tests {
             "estimate {estimate} is >10x actual {len}: wasting memory"
         );
         assert!(run.world.trace().capacity() >= estimate);
+    }
+
+    #[test]
+    fn batched_extraction_matches_sequential() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(1, ConnSpec::paper())
+            .with_rev(1, ConnSpec::paper());
+        sc.duration = SimDuration::from_secs(30);
+        sc.warmup = SimDuration::from_secs(5);
+        let run = sc.run();
+        let (a, b) = (run.fwd[0], run.rev[0]);
+        let (q1, q2, cw1, cw2) = run.queues_and_cwnds(a, b);
+        assert_eq!(q1, run.queue1());
+        assert_eq!(q2, run.queue2());
+        assert_eq!(cw1, run.cwnd(a));
+        assert_eq!(cw2, run.cwnd(b));
+        let (p1, p2) = run.queues();
+        assert_eq!(p1, q1);
+        assert_eq!(p2, q2);
     }
 
     #[test]

@@ -65,6 +65,34 @@ fn parallel_run_is_byte_identical_to_sequential() {
     }
 }
 
+/// The two-level split (workers + borrowed replicate-sweep slots) must be
+/// invisible in the output: multi-replicate batches are byte-identical
+/// across job budgets, including budgets larger than the task count
+/// (where the surplus is what in-experiment sweeps borrow).
+#[test]
+fn replicated_runs_are_byte_identical_across_job_budgets() {
+    let entries = || vec![find("short-flows").unwrap()];
+    let base = RunnerConfig {
+        master_seed: 7,
+        replicates: 3,
+        ..RunnerConfig::new()
+    };
+    let seq = run_batch(&entries(), &RunnerConfig { jobs: 1, ..base });
+    let par = run_batch(&entries(), &RunnerConfig { jobs: 8, ..base });
+
+    let (a, b) = (rendered(&seq), rendered(&par));
+    assert_eq!(a, b, "replicate output depends on the job budget");
+    // Replicate seeds are pure functions of (master, id, replicate):
+    // replicate 0 is the master verbatim, the rest are derived and
+    // distinct.
+    assert_eq!(seq.results[0].seed, 7);
+    let mut seeds: Vec<u64> = seq.results.iter().map(|r| r.seed).collect();
+    let n = seeds.len();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), n, "replicate seeds must not collide");
+}
+
 /// Cross-version regression pin: the hash below was recorded from the
 /// pre-slab `EventQueue` (`BinaryHeap` + lazy cancellation). Any engine
 /// change that perturbs event ordering — and therefore any experiment

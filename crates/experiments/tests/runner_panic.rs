@@ -1,0 +1,85 @@
+//! Fault isolation: one panicking experiment must become one failed
+//! result — message preserved — while the rest of the batch completes,
+//! and the job budget must survive the unwind intact.
+
+use td_experiments::registry::{find, Entry};
+use td_experiments::runner::{run_batch, RunnerConfig};
+use td_experiments::sweep;
+
+fn panicking_entry() -> Entry {
+    Entry::new(
+        "panic-probe",
+        "deliberately panics (test fixture)",
+        |seed, _profile| panic!("forced panic injection, seed {seed}"),
+    )
+}
+
+#[test]
+fn forced_panic_is_isolated_and_reported() {
+    let entries = vec![
+        find("short-flows").unwrap(),
+        panicking_entry(),
+        find("fig8").unwrap(),
+    ];
+    let batch = run_batch(
+        &entries,
+        &RunnerConfig {
+            jobs: 2,
+            master_seed: 7,
+            ..RunnerConfig::new()
+        },
+    );
+
+    // Every task produced a result, in registry order.
+    let ids: Vec<_> = batch.results.iter().map(|r| r.id).collect();
+    assert_eq!(ids, ["short-flows", "panic-probe", "fig8"]);
+
+    // The probe failed with its message captured; its neighbours are
+    // untouched.
+    let probe = &batch.results[1];
+    assert_eq!(
+        probe.panic.as_deref(),
+        Some("forced panic injection, seed 7")
+    );
+    assert!(!probe.report.all_ok());
+    assert!(batch.results[0].panic.is_none() && batch.results[0].report.all_ok());
+    assert!(batch.results[2].panic.is_none() && batch.results[2].report.all_ok());
+
+    // Batch-level accounting sees the panic as a failure, not an abort.
+    assert!(!batch.all_ok());
+    assert_eq!(batch.panics().len(), 1);
+
+    // timings.json still materializes, with the panic recorded.
+    let json = batch.timings_json();
+    assert!(json.contains("\"panicked\": 1"));
+    assert!(json.contains("\"panic\": \"forced panic injection, seed 7\""));
+    assert!(json.contains("\"id\": \"fig8\""), "rest of batch present");
+
+    // The budget recovered every slot the batch used: a follow-up sweep
+    // can still borrow.
+    sweep::budget().configure(2);
+    assert_eq!(sweep::budget().available(), 2);
+}
+
+#[test]
+fn panicking_replicates_fail_independently() {
+    // With replicates, only the replicate that panics fails; panic
+    // messages identify which seed blew up.
+    let entries = vec![panicking_entry()];
+    let batch = run_batch(
+        &entries,
+        &RunnerConfig {
+            jobs: 4,
+            master_seed: 3,
+            replicates: 3,
+            ..RunnerConfig::new()
+        },
+    );
+    assert_eq!(batch.results.len(), 3);
+    for r in &batch.results {
+        let msg = r.panic.as_deref().expect("every replicate panicked");
+        assert_eq!(msg, format!("forced panic injection, seed {}", r.seed));
+    }
+    let (passes, total) = batch.pass_count("panic-probe");
+    assert_eq!((passes, total), (0, 3));
+}
