@@ -159,6 +159,19 @@ impl Endpoint for TcpReceiver {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn progress(&self) -> td_net::EndpointProgress {
+        td_net::EndpointProgress {
+            // A receiver never knows how much data is coming; it opts out
+            // of stall attribution but still describes its state.
+            finished: None,
+            detail: format!(
+                "next_expected={} reassembly={}",
+                self.next_expected,
+                self.reassembly.len()
+            ),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -314,6 +314,28 @@ impl Endpoint for TcpSender {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn progress(&self) -> td_net::EndpointProgress {
+        td_net::EndpointProgress {
+            // Infinite sources have no notion of "done" and opt out of
+            // stall attribution; finite transfers are done once everything
+            // is acknowledged.
+            finished: self.cfg.data_limit.map(|_| self.finished_at.is_some()),
+            detail: format!(
+                "snd_una={} snd_nxt={} snd_max={} cwnd={:.2} rto {} ({:.3}s)",
+                self.snd_una,
+                self.snd_nxt,
+                self.snd_max,
+                self.cc.cwnd(),
+                if self.rto_armed.is_some() {
+                    "armed"
+                } else {
+                    "unarmed"
+                },
+                self.rtt.rto().as_secs_f64(),
+            ),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--timings needs a file path")?;
                 timings = Some(PathBuf::from(v));
             }
+            "--only" => {
+                let v = argv.next().ok_or("--only needs an experiment id")?;
+                ids.push(v);
+            }
             "--all" => ids.push("all".into()),
             "-h" | "--help" => {
                 ids.push("help".into());
@@ -121,6 +125,7 @@ fn usage() {
     println!("flags:");
     println!("  --full           paper-scale run lengths (default: quick)");
     println!("  --profile P      quick | full (same as --quick / --full)");
+    println!("  --only ID        run a single experiment (same as the positional id)");
     println!("  --seed N         master seed for the canonical run (default 1)");
     println!("  --seeds N        run N replicates per experiment; replicate 0 uses");
     println!("                   --seed verbatim, the rest get derived seeds");

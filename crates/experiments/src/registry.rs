@@ -150,6 +150,11 @@ pub fn registry() -> Vec<Entry> {
             about: "Ablation: drop-tail vs Random Drop vs Fair Queueing",
             runner: |seed, p| crate::ablations::report_discipline(seed, secs(p, 300, 800)),
         },
+        Entry {
+            id: "chaos",
+            about: "Robustness drill: recovery from scheduled outages and burst loss",
+            runner: |seed, p| crate::chaos::report(seed, secs(p, 120, 400)),
+        },
     ]
 }
 

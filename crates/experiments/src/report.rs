@@ -38,6 +38,12 @@ pub struct Report {
     pub csvs: Vec<(String, String)>,
     /// `(file name, bytes)` binary exports (pcap captures).
     pub blobs: Vec<(String, Vec<u8>)>,
+    /// Named scalar measurements (recovery times, retransmit counts, …)
+    /// surfaced machine-readably through `timings.json`.
+    pub metrics: Vec<(String, f64)>,
+    /// Structured diagnostics (stall reports, audit summaries) surfaced
+    /// through `timings.json` instead of panicking mid-run.
+    pub diagnostics: Vec<String>,
 }
 
 impl Report {
@@ -69,6 +75,16 @@ impl Report {
             measured,
             ok: None,
         });
+    }
+
+    /// Record a named scalar measurement.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_owned(), value));
+    }
+
+    /// Record a structured diagnostic line.
+    pub fn diagnostic(&mut self, msg: String) {
+        self.diagnostics.push(msg);
     }
 
     /// True if every checked row passed.

@@ -155,6 +155,10 @@ pub struct ExperimentResult {
     pub panic: Option<String>,
     /// Observability counters.
     pub timing: Timing,
+    /// Invariant-auditor tally for this task: every violation any world
+    /// recorded while the task ran (helper-thread deltas merged in by the
+    /// sweeps), surfaced through `timings.json`.
+    pub audit: td_net::audit::Tally,
 }
 
 /// A completed batch: per-task results in deterministic (registry ×
@@ -243,6 +247,8 @@ impl BatchResult {
             .sum();
         out.push_str(&format!("  \"total_events_dispatched\": {events},\n"));
         out.push_str(&format!("  \"panicked\": {},\n", self.panics().len()));
+        let audit_total: u64 = self.results.iter().map(|r| r.audit.total).sum();
+        out.push_str(&format!("  \"audit_violations\": {audit_total},\n"));
         out.push_str("  \"experiments\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let t = &r.timing;
@@ -250,11 +256,22 @@ impl BatchResult {
                 Some(msg) => format!("\"{}\"", json_escape(msg)),
                 None => "null".into(),
             };
+            let audit = json_string_array(&r.audit.reports);
+            let diagnostics = json_string_array(&r.report.diagnostics);
+            let metrics = r
+                .report
+                .metrics
+                .iter()
+                .map(|(name, value)| format!("\"{}\": {value}", json_escape(name)))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"replicate\": {}, \"seed\": {}, \"ok\": {}, \
                  \"panic\": {panic}, \
                  \"wall_s\": {:.6}, \"events_scheduled\": {}, \"events_dispatched\": {}, \
-                 \"peak_queue_depth\": {}}}{}\n",
+                 \"peak_queue_depth\": {}, \
+                 \"audit_violations\": {}, \"audit\": {audit}, \
+                 \"metrics\": {{{metrics}}}, \"diagnostics\": {diagnostics}}}{}\n",
                 r.id,
                 r.replicate,
                 r.seed,
@@ -263,6 +280,7 @@ impl BatchResult {
                 t.events_scheduled,
                 t.events_dispatched,
                 t.peak_queue_depth,
+                r.audit.total,
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
@@ -283,6 +301,16 @@ impl BatchResult {
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// Render a slice of strings as a JSON array literal.
+fn json_string_array(items: &[String]) -> String {
+    let body = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{body}]")
 }
 
 /// Escape a string for embedding in a JSON string literal.
@@ -388,11 +416,13 @@ pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
                     };
 
                     td_engine::telemetry::reset();
+                    td_net::audit::reset_thread();
                     let t0 = Instant::now();
                     let outcome =
                         catch_unwind(AssertUnwindSafe(|| entry.run(seed, cfg.profile)));
                     let wall_s = t0.elapsed().as_secs_f64();
                     let telem = td_engine::telemetry::snapshot();
+                    let audit = td_net::audit::take_thread();
                     let (report, panic) = match outcome {
                         Ok(report) => (report, None),
                         Err(payload) => {
@@ -413,6 +443,7 @@ pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
                             events_dispatched: telem.events_dispatched,
                             peak_queue_depth: telem.peak_queue_depth,
                         },
+                        audit,
                     };
                     if cfg.progress {
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;

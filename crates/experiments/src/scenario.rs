@@ -14,7 +14,10 @@ use td_analysis::{
 };
 use td_core::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use td_engine::{Rate, SimDuration, SimRng, SimTime};
-use td_net::{dumbbell, ChannelId, ConnId, DisciplineKind, EndpointId, LinkSpec, NodeId, World};
+use td_net::{
+    dumbbell, ChannelId, ConnId, DisciplineKind, EndpointId, FaultPlan, LinkSpec, NodeId,
+    RunOutcome, WatchdogConfig, World,
+};
 
 /// The paper's bottleneck data-packet service time (500 B at 50 Kbit/s).
 pub const DATA_SERVICE: SimDuration = SimDuration::from_millis(80);
@@ -75,6 +78,15 @@ pub struct Scenario {
     /// Record the event trace (default). Disable for throughput
     /// benchmarking; analysis methods on [`Run`] then see an empty trace.
     pub record_trace: bool,
+    /// Fault plan installed on the Switch-1 → Switch-2 bottleneck channel
+    /// ([`FaultPlan::NONE`] = fault-free, the paper's setting).
+    pub fault_fwd: FaultPlan,
+    /// Fault plan installed on the Switch-2 → Switch-1 bottleneck channel.
+    pub fault_rev: FaultPlan,
+    /// When set, the run executes under [`World::run_until_quiescent`]
+    /// with this watchdog and [`Run::outcome`] carries the verdict;
+    /// when `None` the run uses the plain time-bounded loop.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Scenario {
@@ -93,6 +105,9 @@ impl Scenario {
             start_jitter: SimDuration::from_secs(1),
             mark_threshold: None,
             record_trace: true,
+            fault_fwd: FaultPlan::NONE,
+            fault_rev: FaultPlan::NONE,
+            watchdog: None,
         }
     }
 
@@ -153,6 +168,16 @@ impl Scenario {
             .set_mark_threshold(d.bottleneck_21, self.mark_threshold);
         d.world.trace_mut().set_enabled(self.record_trace);
         d.world.reserve_trace(self.trace_records_estimate());
+        // Installed unconditionally: a NONE plan must be byte-invisible
+        // (the golden-hash pin in runner_determinism.rs holds it to that),
+        // so the fault path is exercised by every experiment, not only the
+        // chaos drill.
+        d.world
+            .set_fault_plan(d.bottleneck_12, self.fault_fwd.clone())
+            .expect("fault_fwd plan must validate");
+        d.world
+            .set_fault_plan(d.bottleneck_21, self.fault_rev.clone())
+            .expect("fault_rev plan must validate");
         let mut rng = SimRng::new(self.seed).derive(0xA11C);
         let mut conns = Vec::new();
         let mut senders = BTreeMap::new();
@@ -170,6 +195,7 @@ impl Scenario {
             *next += 1;
             let s = world.attach(src, dst, conn, TcpSender::boxed(spec.sender));
             let r = world.attach(dst, src, conn, TcpReceiver::boxed(spec.receiver));
+            world.set_window_bound(conn, spec.sender.maxwnd as f64);
             let start = SimTime::from_nanos(rng.next_below(jitter_ns));
             world.start_at(s, start);
             senders.insert(conn, s);
@@ -189,7 +215,13 @@ impl Scenario {
             conns.push(c);
         }
         let t_end = SimTime::ZERO + self.duration;
-        d.world.run_until(t_end);
+        let outcome = match &self.watchdog {
+            Some(cfg) => Some(d.world.run_until_quiescent(t_end, cfg)),
+            None => {
+                d.world.run_until(t_end);
+                None
+            }
+        };
         Run {
             world: d.world,
             host1: d.host1,
@@ -202,6 +234,7 @@ impl Scenario {
             t1: t_end,
             senders,
             receivers,
+            outcome,
         }
     }
 }
@@ -230,6 +263,9 @@ pub struct Run {
     pub senders: BTreeMap<ConnId, EndpointId>,
     /// Receiver endpoint of each connection.
     pub receivers: BTreeMap<ConnId, EndpointId>,
+    /// Watchdog verdict when the scenario ran under one (`None` when
+    /// [`Scenario::watchdog`] was unset).
+    pub outcome: Option<RunOutcome>,
 }
 
 impl Run {
@@ -486,6 +522,52 @@ mod tests {
         let (p1, p2) = run.queues();
         assert_eq!(p1, q1);
         assert_eq!(p2, q2);
+    }
+
+    #[test]
+    fn watchdog_run_reports_an_outcome() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(1, ConnSpec::paper())
+            .with_rev(1, ConnSpec::paper());
+        sc.duration = SimDuration::from_secs(20);
+        sc.warmup = SimDuration::from_secs(2);
+        sc.watchdog = Some(WatchdogConfig::default());
+        let run = sc.run();
+        let outcome = run.outcome.as_ref().expect("watchdog verdict");
+        assert!(
+            !outcome.is_stalled(),
+            "clean paper run stalled: {outcome:?}"
+        );
+        assert_eq!(run.world.audit().total_violations(), 0);
+    }
+
+    #[test]
+    fn fault_plan_outage_silences_the_link_then_recovers() {
+        let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+            .with_fwd(1, ConnSpec::paper())
+            .with_rev(1, ConnSpec::paper());
+        sc.duration = SimDuration::from_secs(30);
+        sc.warmup = SimDuration::from_secs(1);
+        let (down, up) = (SimTime::from_secs(5), SimTime::from_secs(8));
+        sc.fault_fwd = FaultPlan::with_outages(vec![td_net::Outage { down, up }]);
+        let run = sc.run();
+        // The downed channel refuses to start transmissions for the whole
+        // outage window.
+        let tx_during_outage = run
+            .world
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                r.t > down
+                    && r.t < up
+                    && matches!(r.ev, td_net::TraceEvent::TxStart { ch, .. } if ch == run.bottleneck_12)
+            })
+            .count();
+        assert_eq!(tx_during_outage, 0, "channel transmitted while down");
+        // The connection keeps making progress after the link returns.
+        assert!(run.util12() > 0.1, "forward path never recovered");
+        assert_eq!(run.world.audit().total_violations(), 0);
     }
 
     #[test]

@@ -203,9 +203,10 @@ where
 
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
-    // Telemetry deltas of helper-run items, merged into the caller after
-    // the join so totals match a sequential run exactly.
+    // Telemetry and audit-tally deltas of helper-run items, merged into
+    // the caller after the join so totals match a sequential run exactly.
     let telem: Vec<OnceLock<telemetry::Telemetry>> = (0..n).map(|_| OnceLock::new()).collect();
+    let audits: Vec<OnceLock<td_net::audit::Tally>> = (0..n).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..lease.slots {
@@ -215,8 +216,10 @@ where
                     return;
                 }
                 telemetry::reset();
+                td_net::audit::reset_thread();
                 let r = f(i, &items[i]);
                 let _ = telem[i].set(telemetry::snapshot());
+                let _ = audits[i].set(td_net::audit::take_thread());
                 let _ = slots[i].set(r);
             });
         }
@@ -235,6 +238,11 @@ where
     for t in &telem {
         if let Some(&delta) = t.get() {
             telemetry::merge(delta);
+        }
+    }
+    for a in audits {
+        if let Some(delta) = a.into_inner() {
+            td_net::audit::absorb(delta);
         }
     }
     slots

@@ -1,0 +1,128 @@
+//! Robustness plumbing, end to end: a forced invariant violation and a
+//! forced stall must each surface as structured data in `timings.json` —
+//! never as a panic, a hang, or a silently green batch.
+
+use std::any::Any;
+use td_engine::{Rate, SimDuration, SimTime};
+use td_experiments::registry::{Entry, Profile};
+use td_experiments::runner::{run_batch, RunnerConfig};
+use td_experiments::Report;
+use td_net::{
+    Ctx, DropTail, Endpoint, EndpointProgress, FaultModel, Packet, RunOutcome, WatchdogConfig,
+    World,
+};
+
+fn one_job() -> RunnerConfig {
+    RunnerConfig {
+        jobs: 1,
+        profile: Profile::Quick,
+        master_seed: 1,
+        replicates: 1,
+        progress: false,
+    }
+}
+
+/// An experiment whose run trips the auditor (via the test-only hook —
+/// real violations require a broken simulator).
+fn violating(_seed: u64, _profile: Profile) -> Report {
+    td_net::audit::inject_violation_for_test("forced by chaos_robustness");
+    Report::new(
+        "force-violation",
+        "forced audit violation",
+        "test-only hook",
+    )
+}
+
+#[test]
+fn forced_violation_surfaces_in_timings_json() {
+    let entries = [Entry::new(
+        "force-violation",
+        "trips the invariant auditor on purpose",
+        violating,
+    )];
+    let batch = run_batch(&entries, &one_job());
+    let json = batch.timings_json();
+    assert!(
+        json.contains("\"audit_violations\": 1"),
+        "violation count missing from timings.json:\n{json}"
+    );
+    assert!(
+        json.contains("forced by chaos_robustness"),
+        "violation detail missing from timings.json:\n{json}"
+    );
+}
+
+/// Claims unfinished work but never schedules an event, so the queue
+/// drains immediately: a textbook deadlock for the watchdog.
+struct Wedged;
+impl Endpoint for Wedged {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn progress(&self) -> EndpointProgress {
+        EndpointProgress {
+            finished: Some(false),
+            detail: "wedged on purpose".to_owned(),
+        }
+    }
+}
+
+/// An experiment whose world stalls; the watchdog verdict goes into the
+/// report's diagnostics instead of hanging or panicking.
+fn stalling(_seed: u64, _profile: Profile) -> Report {
+    let mut w = World::new(1);
+    let h0 = w.add_host("H0", SimDuration::from_micros(100));
+    let h1 = w.add_host("H1", SimDuration::from_micros(100));
+    for (a, b) in [(h0, h1), (h1, h0)] {
+        w.add_channel(
+            a,
+            b,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+    }
+    let ep = w.attach(h0, h1, td_net::ConnId(0), Box::new(Wedged));
+    w.start_at(ep, SimTime::ZERO);
+    let outcome = w.run_until_quiescent(
+        SimTime::ZERO + SimDuration::from_secs(10),
+        &WatchdogConfig::default(),
+    );
+    let mut rep = Report::new("force-stall", "forced stall", "wedged endpoint");
+    match &outcome {
+        RunOutcome::Stalled(stall) => rep.diagnostic(stall.render()),
+        other => rep.diagnostic(format!("expected a stall, got {other:?}")),
+    }
+    rep.check(
+        "stall detected",
+        "watchdog reports a deadlock",
+        format!("{}", outcome.is_stalled()),
+        outcome.is_stalled(),
+    );
+    rep
+}
+
+#[test]
+fn forced_stall_surfaces_in_timings_json() {
+    let entries = [Entry::new(
+        "force-stall",
+        "wedges an endpoint on purpose",
+        stalling,
+    )];
+    let batch = run_batch(&entries, &one_job());
+    assert!(batch.all_ok(), "stall verdict missing from the report");
+    let json = batch.timings_json();
+    assert!(
+        json.contains("stall: deadlock"),
+        "stall report missing from timings.json:\n{json}"
+    );
+    assert!(
+        json.contains("wedged on purpose"),
+        "stuck-connection detail missing from timings.json:\n{json}"
+    );
+}

@@ -98,6 +98,11 @@ fn replicated_runs_are_byte_identical_across_job_budgets() {
 /// change that perturbs event ordering — and therefore any experiment
 /// byte — flips this hash. If it fails, the queue changed observable
 /// simulation behaviour; that is a bug, not a baseline to re-record.
+///
+/// Since the fault subsystem landed, `Scenario::run` installs a
+/// `FaultPlan::NONE` on both bottleneck channels of every experiment, so
+/// this pin also asserts that a compiled-in-but-disabled fault plan (and
+/// the always-on invariant auditor) is byte-invisible.
 #[test]
 fn experiment_output_bytes_match_golden_hash() {
     let entries = vec![find("fig8").unwrap(), find("short-flows").unwrap()];
@@ -124,3 +129,35 @@ fn experiment_output_bytes_match_golden_hash() {
 /// FNV-1a of the rendered fig8 + short-flows batch (seed 7, quick profile),
 /// recorded against the pre-slab binary-heap event queue.
 const GOLDEN_OUTPUT_HASH: u64 = 0xb4f1_f25c_be23_ce63;
+
+/// The robustness instrumentation must observe, never perturb: the same
+/// scenario run with and without the watchdog (which threads every event
+/// through stall accounting and the auditor's delivery counter) produces
+/// the identical trace, event for event.
+#[test]
+fn watchdog_instrumentation_is_byte_invisible() {
+    use td_engine::SimDuration;
+    use td_experiments::scenario::{ConnSpec, Scenario};
+
+    let mut sc = Scenario::paper(SimDuration::from_millis(10), Some(20))
+        .with_fwd(1, ConnSpec::paper())
+        .with_rev(1, ConnSpec::paper());
+    sc.duration = SimDuration::from_secs(20);
+    sc.warmup = SimDuration::from_secs(2);
+    let plain = sc.run();
+    sc.watchdog = Some(td_net::WatchdogConfig::default());
+    let watched = sc.run();
+    assert_eq!(
+        plain.world.events_dispatched(),
+        watched.world.events_dispatched(),
+        "watchdog changed the event stream"
+    );
+    let bytes = |run: &td_experiments::scenario::Run| format!("{:?}", run.world.trace().records());
+    assert_eq!(
+        bytes(&plain),
+        bytes(&watched),
+        "watchdog changed the recorded trace"
+    );
+    assert!(watched.outcome.is_some());
+    assert_eq!(plain.world.audit().total_violations(), 0);
+}

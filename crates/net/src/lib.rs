@@ -80,26 +80,39 @@
 //! ## Determinism
 //!
 //! All state transitions happen in the total event order provided by
-//! `td-engine`; the only randomness is the seeded [`td_engine::SimRng`]
-//! owned by the [`World`], consumed by fault injection, Random Drop, and
-//! scenario start-time jitter. A `(config, seed)` pair fully determines a
-//! run.
+//! `td-engine`. Randomness comes from two kinds of seeded
+//! [`td_engine::SimRng`] streams, both derived from the world seed: the
+//! shared world stream (Random Drop, RED, scenario start-time jitter) and
+//! one private stream per channel that feeds only that channel's
+//! [`FaultPlan`]. Fault decisions never touch the shared stream, so
+//! configuring faults on one channel cannot perturb any other random
+//! decision — and a channel whose plan is [`FaultPlan::NONE`] never draws
+//! at all, keeping error-free runs byte-identical whether or not faults
+//! exist elsewhere. A `(config, seed)` pair fully determines a run.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 mod discipline;
 mod fault;
 mod packet;
 pub mod pcap;
 mod topology;
 mod trace;
+mod watchdog;
 mod world;
 
 pub use discipline::{Discipline, DisciplineKind, DropTail, FairQueueing, RandomDrop, Red, Victim};
-pub use fault::{FaultKind, FaultModel};
+pub use fault::{
+    FaultError, FaultKind, FaultModel, FaultOutcome, FaultPlan, GilbertElliott, Outage,
+    ReorderJitter,
+};
 pub use packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
 pub use pcap::{text_dump, to_pcap_bytes, write_pcap, CapturePoint};
 pub use topology::{chain, dumbbell, Chain, Dumbbell, LinkSpec};
 pub use trace::{DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceRecord};
+pub use watchdog::{
+    EndpointProgress, RunOutcome, StallKind, StallReport, StuckConn, WatchdogConfig,
+};
 pub use world::{ChannelId, ChannelStats, Ctx, Endpoint, EndpointId, TimerHandle, World};

@@ -26,6 +26,9 @@ pub enum DropReason {
     /// Active queue management (RED) discarded it before the buffer was
     /// physically full.
     EarlyDrop,
+    /// A scheduled link outage cut the channel while the packet was in
+    /// flight (or it finished serializing into a down link).
+    LinkDown,
 }
 
 /// How a transport sender noticed a loss (paper footnote 4: duplicate

@@ -25,13 +25,21 @@
 //!    at a host it joins the serial processing queue and is handed to the
 //!    endpoint (`Deliver` record) after the per-packet processing delay.
 
+use crate::audit::Audit;
 use crate::discipline::{Discipline, Victim};
-use crate::fault::{FaultKind, FaultModel};
+use crate::fault::{FaultError, FaultKind, FaultModel, FaultOutcome, FaultPlan};
 use crate::packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
 use crate::trace::{DropReason, ProtoEvent, Trace, TraceEvent};
+use crate::watchdog::{
+    EndpointProgress, RunOutcome, StallKind, StallReport, StuckConn, WatchdogConfig,
+};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use td_engine::{EventId, EventQueue, Rate, SimDuration, SimRng, SimTime};
+
+/// Base label for deriving each channel's private fault RNG stream from
+/// the world seed (`derive(FAULT_STREAM ^ channel_id)`).
+const FAULT_STREAM: u64 = 0xFA17_57F3_A400_0000;
 
 /// Identifies one simplex channel.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -81,6 +89,14 @@ pub trait Endpoint {
     /// Downcast support so experiments can extract protocol state
     /// (e.g. final statistics) after a run.
     fn as_any(&self) -> &dyn Any;
+
+    /// Self-reported progress for stall attribution (see
+    /// [`crate::World::run_until_quiescent`]). The default — `finished:
+    /// None` — opts the endpoint out: an infinite source or a pure
+    /// receiver has no defined notion of "done".
+    fn progress(&self) -> EndpointProgress {
+        EndpointProgress::default()
+    }
 }
 
 struct Channel {
@@ -92,7 +108,12 @@ struct Channel {
     discipline: Box<dyn Discipline>,
     /// The packet being serialized, with its TxStart time.
     in_service: Option<(Packet, SimTime)>,
-    fault: FaultModel,
+    fault: FaultPlan,
+    /// Private randomness for fault decisions, derived from the world seed
+    /// and channel id. Fault draws never touch the world's shared stream,
+    /// so configuring faults on one channel cannot perturb any other
+    /// random decision in the run.
+    rng: SimRng,
     /// DECbit-style congestion marking: when `Some(k)`, an accepted packet
     /// whose resulting buffer occupancy (waiting + in service, including
     /// itself) exceeds `k` gets its CE bit set. `None` (the paper's
@@ -135,10 +156,20 @@ struct EpMeta {
 #[derive(Debug)]
 enum Event {
     TxComplete(ChannelId),
-    Arrival { ch: ChannelId, pkt: Packet },
+    Arrival {
+        ch: ChannelId,
+        pkt: Packet,
+    },
     HostProcess(NodeId),
-    Timer { ep: EndpointId, token: u64 },
+    Timer {
+        ep: EndpointId,
+        token: u64,
+    },
     Start(EndpointId),
+    /// A scheduled link outage ends: restart the transmitter if work is
+    /// queued. Also keeps the event queue non-empty for the whole outage,
+    /// so a down link is never mistaken for quiescence.
+    LinkUp(ChannelId),
 }
 
 /// The simulation: topology, endpoints, clock, trace.
@@ -150,6 +181,8 @@ pub struct World {
     ep_meta: Vec<EpMeta>,
     trace: Trace,
     rng: SimRng,
+    seed: u64,
+    audit: Audit,
     next_packet_id: u64,
 }
 
@@ -164,6 +197,8 @@ impl World {
             ep_meta: Vec::new(),
             trace: Trace::new(),
             rng: SimRng::new(seed),
+            seed,
+            audit: Audit::default(),
             next_packet_id: 0,
         }
     }
@@ -227,7 +262,8 @@ impl World {
             capacity,
             discipline,
             in_service: None,
-            fault,
+            fault: FaultPlan::from(fault),
+            rng: SimRng::new(self.seed).derive(FAULT_STREAM ^ u64::from(id.0)),
             mark_threshold: None,
             stats: ChannelStats::default(),
         });
@@ -240,6 +276,24 @@ impl World {
             *uplink = Some(id);
         }
         id
+    }
+
+    /// Install a full fault plan on a channel, replacing whatever was
+    /// configured at [`World::add_channel`] time. Validates the plan and
+    /// schedules a `LinkUp` wake-up for each finite outage end, so queued
+    /// packets resume transmission the instant the link heals (and a
+    /// mid-outage world is never mistaken for a drained one). Call before
+    /// running; outages whose `down` is already in the past are rejected
+    /// by the event queue's not-in-past assertion.
+    pub fn set_fault_plan(&mut self, ch: ChannelId, plan: FaultPlan) -> Result<(), FaultError> {
+        plan.validate()?;
+        for outage in &plan.outages {
+            if outage.up < SimTime::MAX {
+                self.queue.schedule_at(outage.up, Event::LinkUp(ch));
+            }
+        }
+        self.channels[ch.0 as usize].fault = plan;
+        Ok(())
     }
 
     /// Enable DECbit-style congestion marking on a channel: packets whose
@@ -347,6 +401,125 @@ impl World {
         while let Some((t, ev)) = self.queue.pop() {
             self.dispatch(t, ev);
         }
+        let in_network = self.packets_in_network();
+        self.audit.on_quiescent(self.now(), in_network);
+    }
+
+    /// Run until no event at or before `t_end` remains, under a watchdog
+    /// that distinguishes the three ways a run can fail to make progress
+    /// (see [`crate::StallKind`]). Returns how the run ended; a stalled
+    /// run stops at the verdict instead of hanging.
+    pub fn run_until_quiescent(&mut self, t_end: SimTime, cfg: &WatchdogConfig) -> RunOutcome {
+        let stop_at = cfg
+            .max_events
+            .map(|m| self.queue.dispatched().saturating_add(m));
+        let mut last_progress_t = self.now();
+        let mut last_delivered = self.audit.delivered();
+        loop {
+            if stop_at.is_some_and(|s| self.queue.dispatched() >= s) {
+                let note = format!(
+                    "event budget exhausted with {} event(s) pending",
+                    self.queue.len()
+                );
+                return RunOutcome::Stalled(self.stall_report(StallKind::BudgetExhausted, note));
+            }
+            match self.queue.pop_at_or_before(t_end) {
+                Some((t, ev)) => {
+                    self.dispatch(t, ev);
+                    let delivered = self.audit.delivered();
+                    if delivered != last_delivered {
+                        last_delivered = delivered;
+                        last_progress_t = t;
+                    } else if t.saturating_since(last_progress_t) > cfg.progress_window {
+                        // No delivery for a full window. Only a livelock if
+                        // someone still has work to do; an idle tail (all
+                        // endpoints finished, stray timers draining) is fine.
+                        let stuck = self.stuck_endpoints();
+                        if stuck.is_empty() {
+                            last_progress_t = t;
+                        } else {
+                            let note = format!(
+                                "no delivery since t={:.6}s (window {:.3}s)",
+                                last_progress_t.as_secs_f64(),
+                                cfg.progress_window.as_secs_f64()
+                            );
+                            let mut report = self.stall_report(StallKind::Livelock, note);
+                            report.stuck = stuck;
+                            return RunOutcome::Stalled(report);
+                        }
+                    }
+                }
+                None => {
+                    if !self.queue.is_empty() {
+                        // Events remain beyond t_end: the normal end of a
+                        // fixed-duration run.
+                        return RunOutcome::TimeBound;
+                    }
+                    let in_network = self.packets_in_network();
+                    self.audit.on_quiescent(self.now(), in_network);
+                    let stuck = self.stuck_endpoints();
+                    if stuck.is_empty() {
+                        return RunOutcome::Quiescent;
+                    }
+                    let note = format!("event queue empty, {} endpoint(s) unfinished", stuck.len());
+                    let mut report = self.stall_report(StallKind::Deadlock, note);
+                    report.stuck = stuck;
+                    return RunOutcome::Stalled(report);
+                }
+            }
+        }
+    }
+
+    /// Packets currently buffered inside the network: channel queues,
+    /// in-service slots, and host processing queues. (In-flight `Arrival`
+    /// events are not counted — they are accounted by the event queue, and
+    /// this is only read when it has drained.)
+    fn packets_in_network(&self) -> u64 {
+        let channel_pkts: u64 = self
+            .channels
+            .iter()
+            .map(|c| c.discipline.len() as u64 + c.in_service.is_some() as u64)
+            .sum();
+        let host_pkts: u64 = self
+            .nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Host { proc_queue, .. } => proc_queue.len() as u64,
+                NodeKind::Switch { .. } => 0,
+            })
+            .sum();
+        channel_pkts + host_pkts
+    }
+
+    /// Endpoints that self-report unfinished work, with their state
+    /// summaries (see [`Endpoint::progress`]).
+    fn stuck_endpoints(&self) -> Vec<StuckConn> {
+        self.endpoints
+            .iter()
+            .zip(&self.ep_meta)
+            .filter_map(|(ep, meta)| {
+                let p = ep.as_ref()?.progress();
+                if p.finished == Some(false) {
+                    Some(StuckConn {
+                        conn: meta.conn.0,
+                        host: self.nodes[meta.host.0 as usize].name.clone(),
+                        detail: p.detail,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    fn stall_report(&self, kind: StallKind, note: String) -> StallReport {
+        StallReport {
+            kind,
+            at: self.now(),
+            events_dispatched: self.queue.dispatched(),
+            note,
+            stuck: Vec::new(),
+        }
     }
 
     /// Like [`World::run_until`], but stop after at most `max_events`
@@ -380,6 +553,17 @@ impl World {
     }
 
     // -- inspection ---------------------------------------------------------
+
+    /// The run's invariant auditor (counters and recorded violations).
+    pub fn audit(&self) -> &Audit {
+        &self.audit
+    }
+
+    /// Register a connection's cwnd upper bound (its sender's `maxwnd`)
+    /// with the auditor, enabling the `cwnd ≤ maxwnd` check.
+    pub fn set_window_bound(&mut self, conn: ConnId, maxwnd: f64) {
+        self.audit.set_window_bound(conn, maxwnd);
+    }
 
     /// The run's trace.
     pub fn trace(&self) -> &Trace {
@@ -455,6 +639,7 @@ impl World {
             Event::HostProcess(node) => self.host_process(t, node),
             Event::Timer { ep, token } => self.with_endpoint(ep, |e, ctx| e.on_timer(ctx, token)),
             Event::Start(ep) => self.with_endpoint(ep, |e, ctx| e.on_start(ctx)),
+            Event::LinkUp(ch) => self.maybe_start_tx(t, ch),
         }
     }
 
@@ -462,10 +647,12 @@ impl World {
     fn offer(&mut self, t: SimTime, ch_id: ChannelId, mut pkt: Packet) {
         let ch = &mut self.channels[ch_id.0 as usize];
         let occupancy = ch.occupancy();
+        let capacity = ch.capacity;
         // Active queue management (RED) may discard before the buffer is
         // physically full.
         if !ch.discipline.admit(&pkt, occupancy, &mut self.rng) {
             ch.stats.drops += 1;
+            self.audit.on_drop();
             self.trace.push(
                 t,
                 TraceEvent::Drop {
@@ -485,6 +672,7 @@ impl World {
             match ch.discipline.select_victim(&pkt, &mut self.rng) {
                 Victim::Arriving => {
                     ch.stats.drops += 1;
+                    self.audit.on_drop();
                     self.trace.push(
                         t,
                         TraceEvent::Drop {
@@ -500,6 +688,8 @@ impl World {
                     ch.stats.drops += 1;
                     ch.discipline.enqueue(pkt);
                     ch.stats.enqueued += 1;
+                    self.audit.on_drop();
+                    self.audit.on_enqueue(t, ch_id, occupancy, capacity);
                     self.trace.push(
                         t,
                         TraceEvent::Drop {
@@ -522,6 +712,7 @@ impl World {
         } else {
             ch.discipline.enqueue(pkt);
             ch.stats.enqueued += 1;
+            self.audit.on_enqueue(t, ch_id, occupancy + 1, capacity);
             self.trace.push(
                 t,
                 TraceEvent::Enqueue {
@@ -537,6 +728,11 @@ impl World {
     fn maybe_start_tx(&mut self, t: SimTime, ch_id: ChannelId) {
         let ch = &mut self.channels[ch_id.0 as usize];
         if ch.in_service.is_some() {
+            return;
+        }
+        // A downed link refuses new transmissions; the LinkUp event
+        // scheduled by `set_fault_plan` restarts it.
+        if ch.fault.is_down(t) {
             return;
         }
         if let Some(pkt) = ch.discipline.dequeue() {
@@ -556,7 +752,9 @@ impl World {
         ch.stats.tx_bytes += pkt.size as u64;
         let qlen_after = ch.occupancy();
         let delay = ch.delay;
-        let fault = ch.fault;
+        // Fault decisions draw only from the channel's private stream
+        // (disjoint field borrow), never from the world's shared RNG.
+        let outcome = ch.fault.decide(t, delay, &mut ch.rng);
         self.trace.push(
             t,
             TraceEvent::TxEnd {
@@ -565,21 +763,37 @@ impl World {
                 qlen_after,
             },
         );
-        match fault.apply(&mut self.rng) {
-            Some(FaultKind::Dropped) | Some(FaultKind::Corrupted) => {
+        match outcome {
+            FaultOutcome::Dropped(kind) => {
+                self.audit.on_drop();
+                let reason = match kind {
+                    FaultKind::LinkDown => DropReason::LinkDown,
+                    FaultKind::Dropped | FaultKind::Corrupted => DropReason::Fault,
+                };
                 self.trace.push(
                     t,
                     TraceEvent::Drop {
                         ch: ch_id,
                         pkt,
-                        reason: DropReason::Fault,
+                        reason,
                         qlen: qlen_after,
                     },
                 );
             }
-            None => {
+            FaultOutcome::Deliver {
+                extra_delay,
+                duplicate,
+            } => {
+                let arrival = t + delay + extra_delay;
                 self.queue
-                    .schedule_at(t + delay, Event::Arrival { ch: ch_id, pkt });
+                    .schedule_at(arrival, Event::Arrival { ch: ch_id, pkt });
+                if duplicate {
+                    // The copy is a new packet from the network's point of
+                    // view: conservation counts it as injected.
+                    self.audit.on_inject();
+                    self.queue
+                        .schedule_at(arrival, Event::Arrival { ch: ch_id, pkt });
+                }
             }
         }
         self.maybe_start_tx(t, ch_id);
@@ -638,6 +852,7 @@ impl World {
         if let Some(due) = next_due {
             self.queue.schedule_at(due, Event::HostProcess(node_id));
         }
+        self.audit.on_deliver(t);
         self.trace
             .push(t, TraceEvent::Deliver { node: node_id, pkt });
         let ep = match &self.nodes[node_id.0 as usize].kind {
@@ -750,6 +965,12 @@ impl Ctx<'_> {
             ce,
         };
         let host = meta.host;
+        self.world.audit.on_inject();
+        if pkt.is_ack() {
+            // Cumulative ACKs ride the seq field (pure ACKs) — audited for
+            // monotonicity.
+            self.world.audit.on_ack_send(t, pkt.conn, host, pkt.seq);
+        }
         let uplink = match &self.world.nodes[host.0 as usize].kind {
             NodeKind::Host { uplink, .. } => uplink.unwrap_or_else(|| {
                 panic!(
@@ -786,6 +1007,9 @@ impl Ctx<'_> {
         let meta = &self.world.ep_meta[self.ep.0 as usize];
         let (conn, node) = (meta.conn, meta.host);
         let t = self.now();
+        if let ProtoEvent::Cwnd { cwnd, ssthresh } = ev {
+            self.world.audit.on_cwnd(t, conn, cwnd, ssthresh);
+        }
         self.world
             .trace
             .push(t, TraceEvent::Proto { conn, node, ev });
@@ -803,10 +1027,10 @@ mod tests {
     use crate::discipline::DropTail;
 
     /// Sends `n` data packets back-to-back at start; counts ACKs received.
-    struct Blaster {
-        n: u64,
-        acks_seen: u64,
-        data_size: u32,
+    pub(super) struct Blaster {
+        pub(super) n: u64,
+        pub(super) acks_seen: u64,
+        pub(super) data_size: u32,
     }
 
     impl Endpoint for Blaster {
@@ -826,8 +1050,8 @@ mod tests {
     }
 
     /// ACKs every data packet.
-    struct Acker {
-        data_seen: u64,
+    pub(super) struct Acker {
+        pub(super) data_seen: u64,
     }
 
     impl Endpoint for Acker {
@@ -844,7 +1068,7 @@ mod tests {
     }
 
     /// Two hosts, one duplex link: H0 <-> H1, no switches.
-    fn direct_world(
+    pub(super) fn direct_world(
         rate: Rate,
         delay: SimDuration,
         capacity: Option<u32>,
@@ -1324,6 +1548,58 @@ mod budget_tests {
     }
 
     #[test]
+    fn budget_exhausted_mid_outage_reports_budget_not_deadlock() {
+        // The forward link is down from t=0 to t=10s; the pending LinkUp
+        // event keeps the queue non-empty, so running out of event budget
+        // mid-outage must be reported as "budget exhausted" — the run was
+        // cut short, nothing is provably stuck.
+        let mut w = World::new(1);
+        let h0 = w.add_host("a", SimDuration::ZERO);
+        let h1 = w.add_host("b", SimDuration::from_micros(100));
+        let c01 = w.add_channel(
+            h0,
+            h1,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        w.add_channel(
+            h1,
+            h0,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        w.set_fault_plan(
+            c01,
+            FaultPlan::with_outages(vec![crate::fault::Outage {
+                down: SimTime::ZERO,
+                up: SimTime::from_secs(10),
+            }]),
+        )
+        .unwrap();
+        let spinner = w.attach(h0, h1, ConnId(0), Box::new(Spinner));
+        w.start_at(spinner, SimTime::ZERO);
+        let cfg = WatchdogConfig {
+            max_events: Some(100),
+            ..WatchdogConfig::default()
+        };
+        let outcome = w.run_until_quiescent(SimTime::from_secs(20), &cfg);
+        let report = outcome.stall().expect("budget must be exhausted");
+        assert_eq!(report.kind, StallKind::BudgetExhausted);
+        assert!(
+            report.render().contains("budget exhausted"),
+            "{}",
+            report.render()
+        );
+        assert!(w.now() < SimTime::from_secs(10), "verdict lands mid-outage");
+    }
+
+    #[test]
     fn bounded_run_reaches_time_bound_normally() {
         let mut w = World::new(1);
         let h0 = w.add_host("a", SimDuration::ZERO);
@@ -1339,5 +1615,483 @@ mod budget_tests {
         );
         let finished = w.run_until_bounded(SimTime::from_secs(1), 10);
         assert!(finished, "empty world reaches the bound trivially");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::tests::{direct_world, Acker, Blaster};
+    use super::*;
+    use crate::discipline::{DropTail, RandomDrop};
+    use crate::fault::Outage;
+    use crate::trace::TraceRecord;
+
+    /// 50 Kbps, 500 B data → 80 ms serialization, 10 ms propagation,
+    /// 0.1 ms host processing.
+    fn outage_world(outages: Vec<Outage>) -> (World, EndpointId, EndpointId, ChannelId) {
+        let (mut w, h0, h1, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        w.set_fault_plan(c01, FaultPlan::with_outages(outages))
+            .unwrap();
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 5,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let snk = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        (w, src, snk, c01)
+    }
+
+    #[test]
+    fn outage_cuts_in_flight_refuses_new_and_recovers() {
+        // Packet 1: tx 0–80 ms, would arrive 90 ms. Outage [85 ms, 300 ms):
+        // cut in flight. Packet 2: tx 80–160 ms, finishes into a down link:
+        // dropped. Packets 3–5 wait for LinkUp at 300 ms, then flow.
+        let (mut w, _src, snk, c01) = outage_world(vec![Outage {
+            down: SimTime::from_millis(85),
+            up: SimTime::from_millis(300),
+        }]);
+        w.run_to_completion();
+        let acker = w
+            .endpoint(snk)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Acker>()
+            .unwrap();
+        assert_eq!(acker.data_seen, 3, "packets 3-5 survive the outage");
+        let link_down_drops: Vec<u64> = w
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.ev {
+                TraceEvent::Drop {
+                    reason: DropReason::LinkDown,
+                    pkt,
+                    ..
+                } => Some(pkt.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(link_down_drops, vec![1, 2]);
+        // No transmission starts while the link is down.
+        for r in w.trace().records() {
+            if let TraceEvent::TxStart { ch, .. } = r.ev {
+                if ch == c01 {
+                    assert!(
+                        r.t < SimTime::from_millis(160) || r.t >= SimTime::from_millis(300),
+                        "TxStart at {:?} during the outage",
+                        r.t
+                    );
+                }
+            }
+        }
+        // First post-outage delivery: tx 300-380 ms + 10 ms + 0.1 ms.
+        let first_recovered = w
+            .trace()
+            .records()
+            .iter()
+            .find_map(|r| match r.ev {
+                TraceEvent::Deliver { pkt, .. } if pkt.is_data() => Some(r.t),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_recovered, SimTime::from_micros(390_100));
+        assert_eq!(w.audit().total_violations(), 0);
+    }
+
+    #[test]
+    fn outage_only_plan_run_is_byte_identical_to_manual_schedule() {
+        // Outages draw no randomness: two identical runs produce identical
+        // traces even though the plan is active.
+        let run = || {
+            let (mut w, _, _, _) = outage_world(vec![Outage {
+                down: SimTime::from_millis(85),
+                up: SimTime::from_millis(300),
+            }]);
+            w.run_to_completion();
+            w.trace().records().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn duplication_delivers_copies_and_conserves() {
+        let (mut w, h0, h1, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        let plan = FaultPlan {
+            dup_prob: 1.0,
+            ..FaultPlan::NONE
+        };
+        w.set_fault_plan(c01, plan).unwrap();
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 3,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let snk = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        let acker = w
+            .endpoint(snk)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Acker>()
+            .unwrap();
+        assert_eq!(acker.data_seen, 6, "every data packet arrives twice");
+        // 3 sends + 3 duplicates + 6 ACKs injected; all delivered.
+        assert_eq!(w.audit().injected(), 12);
+        assert_eq!(w.audit().delivered(), 12);
+        assert_eq!(w.audit().total_violations(), 0);
+    }
+
+    #[test]
+    fn reorder_jitter_is_bounded() {
+        let (mut w, h0, h1, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        let max_extra = SimDuration::from_millis(5);
+        let plan = FaultPlan {
+            jitter: Some(crate::fault::ReorderJitter {
+                prob: 1.0,
+                max_extra,
+            }),
+            ..FaultPlan::NONE
+        };
+        w.set_fault_plan(c01, plan).unwrap();
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 10,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _ = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        w.run_to_completion();
+        // Serialization (80 ms) dwarfs the jitter bound (5 ms), so each
+        // delivery is its own packet's: t = tx_end + 10 ms prop + jitter
+        // + 0.1 ms processing.
+        let base = SimDuration::from_millis(10) + SimDuration::from_micros(100);
+        let mut saw_nonzero = false;
+        let mut n = 0u64;
+        for r in w.trace().records() {
+            if let TraceEvent::Deliver { pkt, .. } = r.ev {
+                if pkt.is_data() {
+                    n += 1;
+                    let tx_end = SimTime::ZERO + SimDuration::from_millis(80) * n;
+                    let extra = r.t.since(tx_end + base);
+                    assert!(extra < max_extra, "jitter {extra:?} out of bounds");
+                    saw_nonzero |= !extra.is_zero();
+                }
+            }
+        }
+        assert_eq!(n, 10);
+        assert!(saw_nonzero, "jitter at prob 1.0 must actually delay");
+        assert_eq!(w.audit().total_violations(), 0);
+    }
+
+    /// Connection id tagged on every trace record that carries one.
+    fn record_conn(ev: &TraceEvent) -> Option<ConnId> {
+        match ev {
+            TraceEvent::Send { pkt, .. }
+            | TraceEvent::Enqueue { pkt, .. }
+            | TraceEvent::Drop { pkt, .. }
+            | TraceEvent::TxStart { pkt, .. }
+            | TraceEvent::TxEnd { pkt, .. }
+            | TraceEvent::Deliver { pkt, .. } => Some(pkt.conn),
+            TraceEvent::Proto { conn, .. } => Some(*conn),
+        }
+    }
+
+    /// Counts deliveries without responding, so the faulty path injects no
+    /// packets of its own and the global packet-id sequence stays fixed.
+    struct Sink {
+        seen: u64,
+    }
+    impl Endpoint for Sink {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {
+            self.seen += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Two disjoint host pairs in one world. Pair A (conn 0) takes the
+    /// fault plan under test; pair B (conn 1) runs a Random Drop queue
+    /// that draws victims from the *shared* world RNG. If fault draws
+    /// leaked onto the shared stream, B's victim choices would shift.
+    fn two_pair_trace(plan: FaultPlan) -> (Vec<TraceRecord>, usize) {
+        let mut w = World::new(11);
+        let rate = Rate::from_kbps(50);
+        let delay = SimDuration::from_millis(10);
+        let proc = SimDuration::from_micros(100);
+        let a0 = w.add_host("A0", proc);
+        let a1 = w.add_host("A1", proc);
+        let b0 = w.add_host("B0", proc);
+        let b1 = w.add_host("B1", proc);
+        let ca = w.add_channel(
+            a0,
+            a1,
+            rate,
+            delay,
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        w.add_channel(
+            a1,
+            a0,
+            rate,
+            delay,
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        w.add_channel(
+            b0,
+            b1,
+            rate,
+            delay,
+            Some(2),
+            Box::new(RandomDrop::new()),
+            FaultModel::NONE,
+        );
+        w.add_channel(
+            b1,
+            b0,
+            rate,
+            delay,
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        w.set_fault_plan(ca, plan).unwrap();
+        let sa = w.attach(
+            a0,
+            a1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 8,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _ = w.attach(a1, a0, ConnId(0), Box::new(Sink { seen: 0 }));
+        let sb = w.attach(
+            b0,
+            b1,
+            ConnId(1),
+            Box::new(Blaster {
+                n: 8,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _ = w.attach(b1, b0, ConnId(1), Box::new(Acker { data_seen: 0 }));
+        w.start_at(sa, SimTime::ZERO);
+        w.start_at(sb, SimTime::ZERO);
+        w.run_to_completion();
+        let b_records: Vec<TraceRecord> = w
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| record_conn(&r.ev) == Some(ConnId(1)))
+            .copied()
+            .collect();
+        let a_fault_drops = w
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.ev,
+                    TraceEvent::Drop {
+                        reason: DropReason::Fault,
+                        ..
+                    }
+                ) && record_conn(&r.ev) == Some(ConnId(0))
+            })
+            .count();
+        (b_records, a_fault_drops)
+    }
+
+    #[test]
+    fn faults_on_one_channel_leave_other_paths_byte_identical() {
+        let (clean_b, clean_drops) = two_pair_trace(FaultPlan::NONE);
+        let lossy = FaultPlan::from(FaultModel::lossy(0.5));
+        let (faulty_b, faulty_drops) = two_pair_trace(lossy);
+        assert_eq!(clean_drops, 0);
+        assert!(faulty_drops > 0, "the lossy plan must actually drop");
+        assert_eq!(
+            clean_b, faulty_b,
+            "path B's packet trace shifted when path A became lossy"
+        );
+    }
+
+    #[test]
+    fn set_fault_plan_rejects_invalid_plans() {
+        let (mut w, _, _, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        let bad = FaultPlan {
+            dup_prob: 1.5,
+            ..FaultPlan::NONE
+        };
+        assert!(w.set_fault_plan(c01, bad).is_err());
+        let overlapping = FaultPlan::with_outages(vec![
+            Outage {
+                down: SimTime::from_secs(1),
+                up: SimTime::from_secs(5),
+            },
+            Outage {
+                down: SimTime::from_secs(3),
+                up: SimTime::from_secs(7),
+            },
+        ]);
+        assert!(w.set_fault_plan(c01, overlapping).is_err());
+    }
+}
+
+#[cfg(test)]
+mod watchdog_tests {
+    use super::tests::{Acker, Blaster};
+    use super::*;
+    use crate::discipline::DropTail;
+
+    /// Claims to have pending work but never schedules anything.
+    struct Inert;
+    impl Endpoint for Inert {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn progress(&self) -> EndpointProgress {
+            EndpointProgress {
+                finished: Some(false),
+                detail: "rto unarmed, 3 packets unacked".to_owned(),
+            }
+        }
+    }
+
+    /// Re-arms a timer forever without ever sending: busy but stuck.
+    struct TimerChurn;
+    impl Endpoint for TimerChurn {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn progress(&self) -> EndpointProgress {
+            EndpointProgress {
+                finished: Some(false),
+                detail: "retransmitting into the void".to_owned(),
+            }
+        }
+    }
+
+    fn two_host_world() -> (World, NodeId, NodeId) {
+        let mut w = World::new(5);
+        let h0 = w.add_host("H0", SimDuration::from_micros(100));
+        let h1 = w.add_host("H1", SimDuration::from_micros(100));
+        for (a, b) in [(h0, h1), (h1, h0)] {
+            w.add_channel(
+                a,
+                b,
+                Rate::from_kbps(50),
+                SimDuration::from_millis(10),
+                None,
+                Box::new(DropTail::new()),
+                FaultModel::NONE,
+            );
+        }
+        (w, h0, h1)
+    }
+
+    #[test]
+    fn clean_run_is_quiescent() {
+        let (mut w, h0, h1) = two_host_world();
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 3,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let _ = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        let outcome = w.run_until_quiescent(SimTime::from_secs(10), &WatchdogConfig::default());
+        assert!(matches!(outcome, RunOutcome::Quiescent));
+        assert_eq!(w.audit().total_violations(), 0);
+    }
+
+    #[test]
+    fn drained_queue_with_unfinished_endpoint_is_deadlock() {
+        let (mut w, h0, h1) = two_host_world();
+        let ep = w.attach(h0, h1, ConnId(0), Box::new(Inert));
+        w.start_at(ep, SimTime::ZERO);
+        let outcome = w.run_until_quiescent(SimTime::from_secs(10), &WatchdogConfig::default());
+        let report = outcome.stall().expect("must stall");
+        assert_eq!(report.kind, StallKind::Deadlock);
+        assert_eq!(report.stuck.len(), 1);
+        assert_eq!(report.stuck[0].conn, 0);
+        assert_eq!(report.stuck[0].host, "H0");
+        assert!(
+            report.render().contains("rto unarmed"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn eventful_run_without_goodput_is_livelock() {
+        let (mut w, h0, h1) = two_host_world();
+        let ep = w.attach(h0, h1, ConnId(0), Box::new(TimerChurn));
+        w.start_at(ep, SimTime::ZERO);
+        let cfg = WatchdogConfig {
+            progress_window: SimDuration::from_secs(5),
+            max_events: None,
+        };
+        let outcome = w.run_until_quiescent(SimTime::from_secs(1000), &cfg);
+        let report = outcome.stall().expect("must stall");
+        assert_eq!(report.kind, StallKind::Livelock);
+        assert!(
+            w.now() < SimTime::from_secs(10),
+            "verdict promptly after one window, not at t_end"
+        );
+        assert_eq!(report.stuck[0].detail, "retransmitting into the void");
+    }
+
+    #[test]
+    fn events_past_bound_report_time_bound() {
+        let (mut w, h0, h1) = two_host_world();
+        let ep = w.attach(h0, h1, ConnId(0), Box::new(TimerChurn));
+        w.start_at(ep, SimTime::ZERO);
+        let outcome = w.run_until_quiescent(SimTime::from_secs(3), &WatchdogConfig::default());
+        assert!(matches!(outcome, RunOutcome::TimeBound));
     }
 }
