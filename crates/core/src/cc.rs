@@ -9,6 +9,7 @@
 //! original rule (`cwnd += 1/cwnd`) keeps a genuine `f64`, anomaly and all,
 //! for the ablation comparing the two.
 
+use td_engine::{SnapError, SnapReader, SnapWriter};
 use td_net::LossKind;
 
 /// Which congestion-avoidance increment to use (paper §2.1).
@@ -110,6 +111,16 @@ pub trait CongestionControl {
 
     /// Algorithm name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serialize the algorithm's *mutable* state for a simulation
+    /// snapshot. Structural parameters (`maxwnd`, the increment rule) are
+    /// not written — a restore target is rebuilt from the same config and
+    /// only needs the dynamics re-applied.
+    fn save_state(&self, w: &mut SnapWriter);
+
+    /// Apply state written by [`CongestionControl::save_state`] onto a
+    /// structurally identical instance.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +249,43 @@ impl CongestionControl for Tahoe {
             IncrementRule::Original => "tahoe-original",
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        match self.wnd {
+            Wnd::Exact { floor, frac } => {
+                w.write_u8(0);
+                w.write_u64(floor);
+                w.write_u64(frac);
+            }
+            Wnd::Real { cwnd } => {
+                w.write_u8(1);
+                w.write_f64(cwnd);
+            }
+        }
+        w.write_u64(self.ssthresh_x2);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let wnd = match (r.read_u8()?, self.rule) {
+            (0, IncrementRule::Modified) => Wnd::Exact {
+                floor: r.read_u64()?,
+                frac: r.read_u64()?,
+            },
+            (1, IncrementRule::Original) => Wnd::Real {
+                cwnd: r.read_f64()?,
+            },
+            (tag @ (0 | 1), _) => {
+                return Err(SnapError::Mismatch(format!(
+                    "tahoe window representation {tag} does not match rule {:?}",
+                    self.rule
+                )))
+            }
+            (tag, _) => return Err(SnapError::Corrupt(format!("tahoe window tag {tag}"))),
+        };
+        self.wnd = wnd;
+        self.ssthresh_x2 = r.read_u64()?;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -268,6 +316,12 @@ impl CongestionControl for FixedWindow {
     }
     fn name(&self) -> &'static str {
         "fixed-window"
+    }
+    fn save_state(&self, _w: &mut SnapWriter) {
+        // The window is structural; there is no mutable state.
+    }
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
@@ -359,6 +413,19 @@ impl CongestionControl for Reno {
 
     fn name(&self) -> &'static str {
         "reno"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.write_f64(self.cwnd);
+        w.write_f64(self.ssthresh);
+        w.write_bool(self.in_recovery);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cwnd = r.read_f64()?;
+        self.ssthresh = r.read_f64()?;
+        self.in_recovery = r.read_bool()?;
+        Ok(())
     }
 }
 
@@ -708,6 +775,21 @@ impl CongestionControl for Decbit {
 
     fn name(&self) -> &'static str {
         "decbit"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.write_f64(self.wnd);
+        w.write_u64(self.acks);
+        w.write_u64(self.marked);
+        w.write_u64(self.cycle);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.wnd = r.read_f64()?;
+        self.acks = r.read_u64()?;
+        self.marked = r.read_u64()?;
+        self.cycle = r.read_u64()?;
+        Ok(())
     }
 }
 

@@ -16,7 +16,7 @@
 //! load it takes to break the Tahoe clusters apart.
 
 use std::any::Any;
-use td_engine::SimDuration;
+use td_engine::{SimDuration, SnapError, SnapReader, SnapWriter};
 use td_net::{Ctx, Endpoint, Packet, PacketKind};
 
 const TOKEN_SEND: u64 = 7;
@@ -82,6 +82,17 @@ impl Endpoint for PoissonSource {
         self.schedule_next(ctx);
     }
 
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.write_u64(self.seq);
+        w.write_u64(self.sent);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.seq = r.read_u64()?;
+        self.sent = r.read_u64()?;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -111,6 +122,13 @@ impl Endpoint for Blackhole {
         self.received += 1;
     }
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.write_u64(self.received);
+    }
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.received = r.read_u64()?;
+        Ok(())
+    }
     fn as_any(&self) -> &dyn Any {
         self
     }

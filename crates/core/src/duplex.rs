@@ -36,8 +36,8 @@ use crate::config::{ReceiverConfig, SenderConfig};
 use crate::rtt::RttEstimator;
 use std::any::Any;
 use std::collections::BTreeSet;
-use td_engine::SimTime;
-use td_net::{Ctx, Endpoint, LossKind, Packet, PacketKind, ProtoEvent};
+use td_engine::{SimTime, SnapError, SnapReader, SnapWriter};
+use td_net::{Ctx, Endpoint, LossKind, Packet, PacketKind, ProtoEvent, TimerHandle};
 
 const TOKEN_RTO: u64 = 1;
 const TOKEN_DELACK: u64 = 2;
@@ -325,6 +325,73 @@ impl Endpoint for TcpDuplex {
             }
             other => unreachable!("unknown duplex timer token {other}"),
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.cc.save_state(w);
+        self.rtt.save_state(w);
+        w.write_u64(self.snd_una);
+        w.write_u64(self.snd_nxt);
+        w.write_u64(self.snd_max);
+        w.write_u32(self.dupacks);
+        w.write_bool(self.rto_armed.is_some());
+        if let Some(h) = &self.rto_armed {
+            h.save_state(w);
+        }
+        w.write_bool(self.timing.is_some());
+        if let Some((seq, at)) = self.timing {
+            w.write_u64(seq);
+            w.write_time(at);
+        }
+        w.write_u64(self.next_expected);
+        w.write_u64(self.reassembly.len() as u64);
+        for seq in &self.reassembly {
+            w.write_u64(*seq); // BTreeSet iterates sorted: deterministic
+        }
+        w.write_bool(self.ack_pending);
+        w.write_bool(self.ce_pending);
+        w.write_u64(self.stats.data_sent);
+        w.write_u64(self.stats.retransmits);
+        w.write_u64(self.stats.pure_acks_sent);
+        w.write_u64(self.stats.piggybacked_acks);
+        w.write_u64(self.stats.delivered);
+        w.write_u64(self.stats.fast_retransmits);
+        w.write_u64(self.stats.timeouts);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cc.load_state(r)?;
+        self.rtt.load_state(r)?;
+        self.snd_una = r.read_u64()?;
+        self.snd_nxt = r.read_u64()?;
+        self.snd_max = r.read_u64()?;
+        self.dupacks = r.read_u32()?;
+        self.rto_armed = if r.read_bool()? {
+            Some(TimerHandle::load_state(r)?)
+        } else {
+            None
+        };
+        self.timing = if r.read_bool()? {
+            Some((r.read_u64()?, r.read_time()?))
+        } else {
+            None
+        };
+        self.next_expected = r.read_u64()?;
+        let n = r.read_u64()?;
+        self.reassembly.clear();
+        for _ in 0..n {
+            self.reassembly.insert(r.read_u64()?);
+        }
+        self.ack_pending = r.read_bool()?;
+        self.ce_pending = r.read_bool()?;
+        self.stats.data_sent = r.read_u64()?;
+        self.stats.retransmits = r.read_u64()?;
+        self.stats.pure_acks_sent = r.read_u64()?;
+        self.stats.piggybacked_acks = r.read_u64()?;
+        self.stats.delivered = r.read_u64()?;
+        self.stats.fast_retransmits = r.read_u64()?;
+        self.stats.timeouts = r.read_u64()?;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -18,6 +18,7 @@
 use crate::config::ReceiverConfig;
 use std::any::Any;
 use std::collections::BTreeSet;
+use td_engine::{SnapError, SnapReader, SnapWriter};
 use td_net::{Ctx, Endpoint, Packet, PacketKind, ProtoEvent};
 
 const TOKEN_DELACK: u64 = 2;
@@ -154,6 +155,38 @@ impl Endpoint for TcpReceiver {
         if self.ack_pending {
             self.send_ack(ctx);
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.write_u64(self.next_expected);
+        w.write_u64(self.reassembly.len() as u64);
+        for seq in &self.reassembly {
+            w.write_u64(*seq); // BTreeSet iterates sorted: deterministic
+        }
+        w.write_bool(self.ack_pending);
+        w.write_bool(self.ce_pending);
+        w.write_u64(self.stats.delivered);
+        w.write_u64(self.stats.out_of_order);
+        w.write_u64(self.stats.duplicates);
+        w.write_u64(self.stats.acks_sent);
+        w.write_u64(self.stats.acks_coalesced);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.next_expected = r.read_u64()?;
+        let n = r.read_u64()?;
+        self.reassembly.clear();
+        for _ in 0..n {
+            self.reassembly.insert(r.read_u64()?);
+        }
+        self.ack_pending = r.read_bool()?;
+        self.ce_pending = r.read_bool()?;
+        self.stats.delivered = r.read_u64()?;
+        self.stats.out_of_order = r.read_u64()?;
+        self.stats.duplicates = r.read_u64()?;
+        self.stats.acks_sent = r.read_u64()?;
+        self.stats.acks_coalesced = r.read_u64()?;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {

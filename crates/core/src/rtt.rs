@@ -91,6 +91,34 @@ impl RttEstimator {
         self.backoff
     }
 
+    /// Serialize the estimator's mutable state (the config is structural).
+    pub fn save_state(&self, w: &mut td_engine::SnapWriter) {
+        match self.srtt {
+            Some(srtt) => {
+                w.write_bool(true);
+                w.write_u64(srtt);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_u64(self.rttvar);
+        w.write_u32(self.backoff);
+    }
+
+    /// Restore state written by [`RttEstimator::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut td_engine::SnapReader<'_>,
+    ) -> Result<(), td_engine::SnapError> {
+        self.srtt = if r.read_bool()? {
+            Some(r.read_u64()?)
+        } else {
+            None
+        };
+        self.rttvar = r.read_u64()?;
+        self.backoff = r.read_u32()?;
+        Ok(())
+    }
+
     /// The retransmission timeout to arm now: estimator output (or the
     /// initial RTO), backed off, clamped to `[min, max]`, then rounded up
     /// to the clock granularity.

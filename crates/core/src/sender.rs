@@ -27,8 +27,8 @@ use crate::cc::CongestionControl;
 use crate::config::SenderConfig;
 use crate::rtt::RttEstimator;
 use std::any::Any;
-use td_engine::SimTime;
-use td_net::{Ctx, Endpoint, LossKind, Packet, PacketKind, ProtoEvent};
+use td_engine::{SimTime, SnapError, SnapReader, SnapWriter};
+use td_net::{Ctx, Endpoint, LossKind, Packet, PacketKind, ProtoEvent, TimerHandle};
 
 const TOKEN_RTO: u64 = 1;
 const TOKEN_PACE: u64 = 3;
@@ -309,6 +309,71 @@ impl Endpoint for TcpSender {
             }
             other => unreachable!("unknown sender timer token {other}"),
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.cc.save_state(w);
+        self.rtt.save_state(w);
+        w.write_u64(self.snd_una);
+        w.write_u64(self.snd_nxt);
+        w.write_u64(self.snd_max);
+        w.write_u32(self.dupacks);
+        w.write_bool(self.rto_armed.is_some());
+        if let Some(h) = &self.rto_armed {
+            h.save_state(w);
+        }
+        w.write_bool(self.timing.is_some());
+        if let Some((seq, at)) = self.timing {
+            w.write_u64(seq);
+            w.write_time(at);
+        }
+        w.write_time(self.pace_due);
+        w.write_bool(self.pace_armed);
+        w.write_bool(self.finished_at.is_some());
+        if let Some(t) = self.finished_at {
+            w.write_time(t);
+        }
+        w.write_u64(self.stats.packets_sent);
+        w.write_u64(self.stats.new_data_sent);
+        w.write_u64(self.stats.retransmits);
+        w.write_u64(self.stats.acked);
+        w.write_u64(self.stats.dupacks);
+        w.write_u64(self.stats.fast_retransmits);
+        w.write_u64(self.stats.timeouts);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cc.load_state(r)?;
+        self.rtt.load_state(r)?;
+        self.snd_una = r.read_u64()?;
+        self.snd_nxt = r.read_u64()?;
+        self.snd_max = r.read_u64()?;
+        self.dupacks = r.read_u32()?;
+        self.rto_armed = if r.read_bool()? {
+            Some(TimerHandle::load_state(r)?)
+        } else {
+            None
+        };
+        self.timing = if r.read_bool()? {
+            Some((r.read_u64()?, r.read_time()?))
+        } else {
+            None
+        };
+        self.pace_due = r.read_time()?;
+        self.pace_armed = r.read_bool()?;
+        self.finished_at = if r.read_bool()? {
+            Some(r.read_time()?)
+        } else {
+            None
+        };
+        self.stats.packets_sent = r.read_u64()?;
+        self.stats.new_data_sent = r.read_u64()?;
+        self.stats.retransmits = r.read_u64()?;
+        self.stats.acked = r.read_u64()?;
+        self.stats.dupacks = r.read_u64()?;
+        self.stats.fast_retransmits = r.read_u64()?;
+        self.stats.timeouts = r.read_u64()?;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {

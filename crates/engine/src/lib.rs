@@ -51,10 +51,12 @@ pub mod legacy;
 mod queue;
 mod rate;
 mod rng;
+pub mod snap;
 pub mod telemetry;
 mod time;
 
 pub use queue::{EventId, EventQueue};
 pub use rate::Rate;
 pub use rng::SimRng;
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

@@ -98,6 +98,20 @@ impl SimRng {
         self.next_f64() < p
     }
 
+    /// The raw xoshiro256** state words, for snapshotting. Together with
+    /// [`SimRng::from_state`] this round-trips the generator exactly: the
+    /// restored stream continues from the same point, bit for bit.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from captured state words (see
+    /// [`SimRng::state`]). No seeding expansion is applied: the words are
+    /// installed verbatim.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// Derive an independent generator for a subcomponent. Streams derived
     /// with distinct labels are statistically independent, so adding a new
     /// randomness consumer never perturbs existing ones — important for

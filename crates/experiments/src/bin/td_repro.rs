@@ -4,6 +4,7 @@
 //! td-repro list                       # show available experiment ids
 //! td-repro all [--full] [--seed N] [--jobs N] [--out DIR]
 //! td-repro fig45 [--full] [--seed N] [--out DIR]
+//! td-repro --resume DIR [--jobs N]    # continue an interrupted sweep
 //! ```
 //!
 //! Experiments run on a worker pool fed by one global job budget
@@ -24,11 +25,76 @@
 //! timings report to an explicit path. Both are written even when
 //! experiments fail — a red batch is exactly when the observability
 //! report matters.
+//!
+//! # Crash resilience
+//!
+//! With `--out DIR` the sweep also keeps an append-only, fsynced results
+//! journal (`journal.tdj`) in the directory: one line per completed
+//! `(experiment, replicate)` cell, durable the moment the cell finishes.
+//! `--resume DIR` replays that journal — configuration comes from the
+//! journal header, completed cells are reprinted without re-running, and
+//! only the missing cells execute. Because every seed is derived, not
+//! scheduled, the resumed sweep's stdout and output files are
+//! byte-identical to an uninterrupted run (only `timings.json` and the
+//! journal itself carry wall-clock noise). Every output file is written
+//! atomically (temp file + rename), so a crash can never leave a torn
+//! CSV or half a `timings.json`.
+//!
+//! On Unix, SIGINT/SIGTERM interrupt *gracefully*: in-flight experiments
+//! finish (and reach the journal), the partial `timings.json` is written
+//! with `"interrupted": true`, and the process exits with status 130 —
+//! `--resume` then picks up exactly where the signal landed.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use td_experiments::registry::{find, registry, Profile};
-use td_experiments::runner::{default_jobs, run_batch, BatchResult, RunnerConfig};
+use std::sync::Mutex;
+use td_experiments::journal::{Journal, JournalHeader};
+use td_experiments::registry::{find, registry, Entry, Profile};
+use td_experiments::runner::{default_jobs, run_batch_resumable, BatchResult, RunnerConfig};
+
+/// Graceful-shutdown signal handling (SIGINT / SIGTERM).
+///
+/// The handler only raises a flag — the runner's workers poll it between
+/// tasks, finish what they started, and flush the journal. This module
+/// is the one place in the whole workspace that needs `unsafe`: a raw
+/// `signal(2)` binding, so the zero-dependency rule holds. The handler
+/// body is a single atomic store, well inside the async-signal-safe set.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+fn install_signal_handlers() -> Option<&'static std::sync::atomic::AtomicBool> {
+    #[cfg(unix)]
+    {
+        sig::install();
+        Some(&sig::INTERRUPTED)
+    }
+    #[cfg(not(unix))]
+    {
+        None
+    }
+}
 
 struct Args {
     ids: Vec<String>,
@@ -38,6 +104,7 @@ struct Args {
     profile: Profile,
     out: Option<PathBuf>,
     timings: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = Profile::Quick;
     let mut out = None;
     let mut timings = None;
+    let mut resume = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -87,6 +155,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--timings needs a file path")?;
                 timings = Some(PathBuf::from(v));
             }
+            "--resume" => {
+                let v = argv.next().ok_or("--resume needs a directory")?;
+                resume = Some(PathBuf::from(v));
+            }
             "--only" => {
                 let v = argv.next().ok_or("--only needs an experiment id")?;
                 ids.push(v);
@@ -101,6 +173,11 @@ fn parse_args() -> Result<Args, String> {
             other => ids.push(other.to_owned()),
         }
     }
+    if resume.is_some() && !ids.is_empty() {
+        return Err("--resume takes its experiment list from the journal; \
+                    don't pass ids with it"
+            .into());
+    }
     Ok(Args {
         ids,
         seed,
@@ -109,6 +186,7 @@ fn parse_args() -> Result<Args, String> {
         profile,
         out,
         timings,
+        resume,
     })
 }
 
@@ -116,6 +194,7 @@ fn usage() {
     println!("td-repro — reproduce Zhang/Shenker/Clark (SIGCOMM '91)");
     println!();
     println!("usage: td-repro <id|all|list> [--full] [--seed N] [--jobs N] [--out DIR]");
+    println!("       td-repro --resume DIR [--jobs N]");
     println!();
     println!("experiments:");
     for e in registry() {
@@ -134,8 +213,11 @@ fn usage() {
         "                   in-experiment sweep slots (default: cores = {})",
         default_jobs()
     );
-    println!("  --out DIR        also write CSV data, a markdown summary, and timings.json");
+    println!("  --out DIR        also write CSV data, a markdown summary, timings.json,");
+    println!("                   and an fsynced results journal (journal.tdj)");
     println!("  --timings FILE   write the timings/observability report to FILE");
+    println!("  --resume DIR     continue an interrupted sweep from DIR's journal:");
+    println!("                   completed cells replay, only missing cells run");
 }
 
 fn main() -> ExitCode {
@@ -147,7 +229,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if args.ids.is_empty() || args.ids.iter().any(|i| i == "help") {
+    if args.resume.is_none() && (args.ids.is_empty() || args.ids.iter().any(|i| i == "help")) {
         usage();
         return ExitCode::SUCCESS;
     }
@@ -158,38 +240,115 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let entries: Vec<_> = if args.ids.iter().any(|i| i == "all") {
-        registry()
-    } else {
-        let mut picked = Vec::new();
-        for id in &args.ids {
-            match find(id) {
-                Some(e) => picked.push(e),
-                None => {
-                    eprintln!("error: unknown experiment id: {id} (try `td-repro list`)");
+    let interrupt = install_signal_handlers();
+
+    // Resolve what to run. A fresh sweep takes everything from the
+    // command line; a resumed one takes seed, profile, replicates, and
+    // the experiment list from the journal header (only --jobs and
+    // --timings still apply), so the two runs cannot diverge.
+    let (entries, cfg, out, completed): (Vec<Entry>, RunnerConfig, Option<PathBuf>, Vec<_>) =
+        if let Some(dir) = &args.resume {
+            let (header, cells) = match Journal::load(dir) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("error: cannot resume from {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let mut picked = Vec::new();
+            for id in &header.ids {
+                match find(id) {
+                    Some(e) => picked.push(e),
+                    None => {
+                        eprintln!(
+                            "error: journal names experiment {id:?} but the registry \
+                             doesn't know it"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            eprintln!(
+                "resuming from {}: {} of {} cells already journaled",
+                dir.display(),
+                cells.len(),
+                picked.len() * header.replicates.max(1) as usize,
+            );
+            let cfg = RunnerConfig {
+                jobs: args.jobs,
+                profile: header.profile,
+                master_seed: header.master_seed,
+                replicates: header.replicates,
+                progress: true,
+                interrupt,
+            };
+            (picked, cfg, Some(dir.clone()), cells)
+        } else {
+            let entries: Vec<_> = if args.ids.iter().any(|i| i == "all") {
+                registry()
+            } else {
+                let mut picked = Vec::new();
+                for id in &args.ids {
+                    match find(id) {
+                        Some(e) => picked.push(e),
+                        None => {
+                            eprintln!("error: unknown experiment id: {id} (try `td-repro list`)");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                picked
+            };
+            let cfg = RunnerConfig {
+                jobs: args.jobs,
+                profile: args.profile,
+                master_seed: args.seed,
+                replicates: args.seeds,
+                progress: true,
+                interrupt,
+            };
+            (entries, cfg, args.out.clone(), Vec::new())
+        };
+
+    // Open the journal: fresh (with a header line) for a new sweep with
+    // an output directory, append-mode for a resume. No directory, no
+    // journal — there is nowhere durable to put it.
+    let journal = match &out {
+        Some(dir) if args.resume.is_some() => match Journal::open_append(dir) {
+            Ok(j) => Some(Mutex::new(j)),
+            Err(e) => {
+                eprintln!("error: cannot reopen journal in {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        },
+        Some(dir) => {
+            let header = JournalHeader {
+                master_seed: cfg.master_seed,
+                profile: cfg.profile,
+                replicates: cfg.replicates.max(1),
+                ids: entries.iter().map(|e| e.id.to_owned()).collect(),
+            };
+            match Journal::create(dir, &header) {
+                Ok(j) => Some(Mutex::new(j)),
+                Err(e) => {
+                    eprintln!("error: cannot create journal in {}: {e}", dir.display());
                     return ExitCode::from(2);
                 }
             }
         }
-        picked
+        None => None,
     };
 
-    let cfg = RunnerConfig {
-        jobs: args.jobs,
-        profile: args.profile,
-        master_seed: args.seed,
-        replicates: args.seeds,
-        progress: true,
-    };
     eprintln!(
         "running {} experiment(s) × {} seed(s) on a {}-job budget ...",
         entries.len(),
-        args.seeds,
+        cfg.replicates.max(1),
         cfg.jobs.max(1)
     );
-    let batch = run_batch(&entries, &cfg);
+    let batch = run_batch_resumable(&entries, &cfg, journal.as_ref(), completed);
 
-    // Reports in registry order, independent of completion order.
+    // Reports in registry order, independent of completion order (and of
+    // whether a cell ran now or was replayed from the journal).
     for r in batch.primary() {
         println!("{}", r.report);
         if !r.report.all_ok() {
@@ -201,7 +360,7 @@ fn main() -> ExitCode {
             );
         }
     }
-    if args.seeds > 1 {
+    if cfg.replicates > 1 {
         for e in &entries {
             let (passes, total) = batch.pass_count(e.id);
             eprintln!("{}: {passes}/{total} seeds fully in-band", e.id);
@@ -210,14 +369,14 @@ fn main() -> ExitCode {
 
     // Persist observability and outputs unconditionally — and
     // independently of each other — before deciding the exit code: a red
-    // batch (mismatches or panics) is exactly when timings.json and the
-    // partial outputs matter most.
+    // batch (mismatches, panics, or an interrupt) is exactly when
+    // timings.json and the partial outputs matter most.
     let mut io_failed = false;
-    if let Err(e) = write_timings(&args, &batch) {
+    if let Err(e) = write_timings(&args, &out, &batch) {
         eprintln!("error writing timings: {e}");
         io_failed = true;
     }
-    if let Some(dir) = &args.out {
+    if let Some(dir) = &out {
         let reports: Vec<_> = batch.primary().map(|r| r.report.clone()).collect();
         match write_outputs(dir, &reports) {
             Err(e) => {
@@ -238,6 +397,13 @@ fn main() -> ExitCode {
         batch.total_wall_s,
         batch.jobs
     );
+    if batch.interrupted {
+        eprintln!(
+            "interrupted: {} cell(s) journaled; finish with `td-repro --resume DIR`",
+            batch.results.len()
+        );
+        return ExitCode::from(130);
+    }
     if batch.all_ok() && !io_failed {
         ExitCode::SUCCESS
     } else {
@@ -245,22 +411,39 @@ fn main() -> ExitCode {
     }
 }
 
-fn write_timings(args: &Args, batch: &BatchResult) -> std::io::Result<()> {
+/// Write `contents` to `path` atomically: a sibling temp file is written
+/// in full, then renamed over the target, so a crash at any instant
+/// leaves either the old file or the new one — never a torn hybrid.
+fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("no file name in {path:?}"),
+        )
+    })?;
+    let mut tmp_name = name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn write_timings(args: &Args, out: &Option<PathBuf>, batch: &BatchResult) -> std::io::Result<()> {
     let explicit = args.timings.clone();
-    let implied = args.out.as_ref().map(|d| d.join("timings.json"));
+    let implied = out.as_ref().map(|d| d.join("timings.json"));
     for path in explicit.into_iter().chain(implied) {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        std::fs::write(&path, batch.timings_json())?;
+        write_atomic(&path, batch.timings_json().as_bytes())?;
         eprintln!("wrote timings to {}", path.display());
     }
     Ok(())
 }
 
-fn write_outputs(dir: &std::path::Path, reports: &[td_experiments::Report]) -> std::io::Result<()> {
+fn write_outputs(dir: &Path, reports: &[td_experiments::Report]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let mut summary = String::from("# Reproduction summary\n\n");
     for rep in reports {
@@ -277,11 +460,11 @@ fn write_outputs(dir: &std::path::Path, reports: &[td_experiments::Report]) -> s
             summary.push_str("```\n\n");
         }
         for (name, contents) in &rep.csvs {
-            std::fs::write(dir.join(name), contents)?;
+            write_atomic(&dir.join(name), contents.as_bytes())?;
         }
         for (name, bytes) in &rep.blobs {
-            std::fs::write(dir.join(name), bytes)?;
+            write_atomic(&dir.join(name), bytes)?;
         }
     }
-    std::fs::write(dir.join("SUMMARY.md"), summary)
+    write_atomic(&dir.join("SUMMARY.md"), summary.as_bytes())
 }

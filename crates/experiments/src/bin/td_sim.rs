@@ -111,7 +111,13 @@ fn main() -> ExitCode {
             eprintln!("error creating {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
-        let write = |name: &str, data: &[u8]| std::fs::write(dir.join(name), data);
+        // Atomic: temp file + rename, so a crash never leaves a torn file.
+        let write = |name: &str, data: &[u8]| -> std::io::Result<()> {
+            let path = dir.join(name);
+            let tmp = dir.join(format!("{name}.tmp"));
+            std::fs::write(&tmp, data)?;
+            std::fs::rename(&tmp, path)
+        };
         let mut io = Ok(());
         io = io.and(write("queue1.csv", csv::series_csv("qlen", &q1).as_bytes()));
         io = io.and(write("queue2.csv", csv::series_csv("qlen", &q2).as_bytes()));

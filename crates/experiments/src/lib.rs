@@ -19,6 +19,7 @@ pub mod fig3;
 pub mod fig45;
 pub mod fig67;
 pub mod fig89;
+pub mod journal;
 pub mod modes;
 pub mod multihop;
 pub mod oneway_util;

@@ -38,14 +38,16 @@
 //! the whole run can be serialized as a `timings.json` report — the
 //! trajectory file the benchmarking roadmap hangs off.
 
+use crate::journal::{Journal, JournalCell};
 use crate::registry::{Entry, Profile};
 use crate::report::Report;
 use crate::sweep;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 use td_analysis::RunningStats;
+use td_net::snapcount::{self, SnapCounters};
 
 /// Derive the seed for one `(experiment, replicate)` cell from the run's
 /// master seed.
@@ -97,6 +99,11 @@ pub struct RunnerConfig {
     pub replicates: u64,
     /// Emit a live per-completion progress line on stderr.
     pub progress: bool,
+    /// Cooperative interrupt flag (SIGINT/SIGTERM). When it reads
+    /// `true`, workers finish their in-flight task — so every completed
+    /// cell still lands in the journal — but claim no new ones, and the
+    /// batch reports [`BatchResult::interrupted`].
+    pub interrupt: Option<&'static AtomicBool>,
 }
 
 impl RunnerConfig {
@@ -108,6 +115,7 @@ impl RunnerConfig {
             master_seed: 1,
             replicates: 1,
             progress: false,
+            interrupt: None,
         }
     }
 }
@@ -159,6 +167,12 @@ pub struct ExperimentResult {
     /// recorded while the task ran (helper-thread deltas merged in by the
     /// sweeps), surfaced through `timings.json`.
     pub audit: td_net::audit::Tally,
+    /// Snapshot/restore activity while the task ran (watchdog
+    /// post-mortems included), surfaced through `timings.json`.
+    pub snap: SnapCounters,
+    /// True if this cell was replayed from a results journal instead of
+    /// executed (`--resume`).
+    pub replayed: bool,
 }
 
 /// A completed batch: per-task results in deterministic (registry ×
@@ -174,6 +188,13 @@ pub struct BatchResult {
     pub master_seed: u64,
     /// Wall-clock seconds for the whole batch.
     pub total_wall_s: f64,
+    /// True if a cooperative interrupt (SIGINT/SIGTERM) stopped the
+    /// batch before every task ran; `results` then holds only the
+    /// completed cells.
+    pub interrupted: bool,
+    /// Cells replayed from the results journal instead of executed
+    /// (`--resume`).
+    pub journal_replayed: u64,
 }
 
 impl BatchResult {
@@ -249,6 +270,15 @@ impl BatchResult {
         out.push_str(&format!("  \"panicked\": {},\n", self.panics().len()));
         let audit_total: u64 = self.results.iter().map(|r| r.audit.total).sum();
         out.push_str(&format!("  \"audit_violations\": {audit_total},\n"));
+        out.push_str(&format!("  \"interrupted\": {},\n", self.interrupted));
+        out.push_str(&format!(
+            "  \"journal_replayed\": {},\n",
+            self.journal_replayed
+        ));
+        let snap_taken: u64 = self.results.iter().map(|r| r.snap.taken).sum();
+        let snap_restored: u64 = self.results.iter().map(|r| r.snap.restored).sum();
+        out.push_str(&format!("  \"snapshots_taken\": {snap_taken},\n"));
+        out.push_str(&format!("  \"snapshots_restored\": {snap_restored},\n"));
         out.push_str("  \"experiments\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let t = &r.timing;
@@ -271,6 +301,8 @@ impl BatchResult {
                  \"wall_s\": {:.6}, \"events_scheduled\": {}, \"events_dispatched\": {}, \
                  \"peak_queue_depth\": {}, \
                  \"audit_violations\": {}, \"audit\": {audit}, \
+                 \"snapshots_taken\": {}, \"snapshots_restored\": {}, \
+                 \"replayed\": {}, \
                  \"metrics\": {{{metrics}}}, \"diagnostics\": {diagnostics}}}{}\n",
                 r.id,
                 r.replicate,
@@ -281,6 +313,9 @@ impl BatchResult {
                 t.events_dispatched,
                 t.peak_queue_depth,
                 r.audit.total,
+                r.snap.taken,
+                r.snap.restored,
+                r.replayed,
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
@@ -376,6 +411,27 @@ fn panic_report(entry: &Entry, seed: u64, msg: &str) -> Report {
 /// batch keeps running; `run_batch` itself always returns a full
 /// `BatchResult` with one entry per task.
 pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
+    run_batch_resumable(entries, cfg, None, Vec::new())
+}
+
+/// [`run_batch`] with crash resilience: completed cells are appended to
+/// `journal` the moment they finish (fsynced, before the slot is even
+/// published), and `completed` cells replayed from a previous journal
+/// are pre-filled instead of re-executed.
+///
+/// Replayed cells are trusted only if they map onto this batch: their id
+/// must name one of `entries`, their replicate must be in range, and
+/// their seed must equal what this batch would derive — anything else
+/// (stale journal, edited file) is ignored and the cell simply reruns.
+/// Because every cell's seed is a pure function of `(master_seed, id,
+/// replicate)`, a resumed batch's reports are byte-identical to an
+/// uninterrupted run's.
+pub fn run_batch_resumable(
+    entries: &[Entry],
+    cfg: &RunnerConfig,
+    journal: Option<&Mutex<Journal>>,
+    completed: Vec<JournalCell>,
+) -> BatchResult {
     let replicates = cfg.replicates.max(1);
     let n_tasks = entries.len() * replicates as usize;
     let budget = cfg.jobs.max(1);
@@ -395,13 +451,65 @@ pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
     let done = AtomicUsize::new(0);
     let slots: Vec<OnceLock<ExperimentResult>> = (0..n_tasks).map(|_| OnceLock::new()).collect();
 
+    // Pre-fill slots with journal-replayed cells. Ids are re-interned
+    // against the entry list (the journal stores owned strings); a cell
+    // that doesn't match this batch's layout or seed derivation is
+    // dropped and its task reruns.
+    let mut journal_replayed: u64 = 0;
+    for cell in completed {
+        let Some(pos) = entries.iter().position(|e| e.id == cell.id) else {
+            continue;
+        };
+        if cell.replicate >= replicates {
+            continue;
+        }
+        let want_seed = if cell.replicate == 0 {
+            cfg.master_seed
+        } else {
+            derive_seed(cfg.master_seed, entries[pos].id, cell.replicate)
+        };
+        if cell.seed != want_seed {
+            continue;
+        }
+        let task = pos * replicates as usize + cell.replicate as usize;
+        let result = ExperimentResult {
+            id: entries[pos].id,
+            replicate: cell.replicate,
+            seed: cell.seed,
+            report: cell.report,
+            panic: cell.panic,
+            timing: cell.timing,
+            audit: cell.audit,
+            snap: SnapCounters::default(),
+            replayed: true,
+        };
+        if slots[task].set(result).is_ok() {
+            journal_replayed += 1;
+        }
+    }
+
+    let interrupted = || {
+        cfg.interrupt
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+    };
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 loop {
+                    // Cooperative interrupt: finish nothing new once the
+                    // flag is up; in-flight tasks already past this check
+                    // run to completion and reach the journal.
+                    if interrupted() {
+                        break;
+                    }
                     let task = next.fetch_add(1, Ordering::Relaxed);
                     if task >= n_tasks {
                         break;
+                    }
+                    // Replayed from the journal: nothing to run.
+                    if slots[task].get().is_some() {
+                        continue;
                     }
                     // Task layout: entry-major, replicate-minor.
                     let entry = &entries[task / replicates as usize];
@@ -417,12 +525,14 @@ pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
 
                     td_engine::telemetry::reset();
                     td_net::audit::reset_thread();
+                    snapcount::reset_thread();
                     let t0 = Instant::now();
                     let outcome =
                         catch_unwind(AssertUnwindSafe(|| entry.run(seed, cfg.profile)));
                     let wall_s = t0.elapsed().as_secs_f64();
                     let telem = td_engine::telemetry::snapshot();
                     let audit = td_net::audit::take_thread();
+                    let snap = snapcount::take_thread();
                     let (report, panic) = match outcome {
                         Ok(report) => (report, None),
                         Err(payload) => {
@@ -444,7 +554,22 @@ pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
                             peak_queue_depth: telem.peak_queue_depth,
                         },
                         audit,
+                        snap,
+                        replayed: false,
                     };
+                    // Journal before publishing the slot: after `append`
+                    // returns, the cell is durable (fsynced). A journal
+                    // I/O error is reported but doesn't fail the run —
+                    // the cell just isn't resumable.
+                    if let Some(j) = journal {
+                        let outcome = j.lock().unwrap().append(&result);
+                        if let Err(e) = outcome {
+                            eprintln!(
+                                "warning: journal append failed for {} replicate {}: {e}",
+                                result.id, result.replicate
+                            );
+                        }
+                    }
                     if cfg.progress {
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         let status = if result.panic.is_some() {
@@ -473,16 +598,18 @@ pub fn run_batch(entries: &[Entry], cfg: &RunnerConfig) -> BatchResult {
     // pool mid-run.
     sweep::budget().release(owned.saturating_sub(workers));
 
-    let results = slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("every task ran"))
-        .collect();
+    // An interrupted batch leaves unclaimed slots empty; only completed
+    // cells are returned, still in deterministic task order.
+    let results: Vec<ExperimentResult> = slots.into_iter().filter_map(|s| s.into_inner()).collect();
+    let interrupted = interrupted() || results.len() < n_tasks;
     BatchResult {
         results,
         jobs: budget,
         profile: cfg.profile,
         master_seed: cfg.master_seed,
         total_wall_s: started.elapsed().as_secs_f64(),
+        interrupted,
+        journal_replayed,
     }
 }
 
@@ -610,6 +737,77 @@ mod tests {
         let json = batch.timings_json();
         assert!(json.contains("\"panicked\": 1"));
         assert!(json.contains("\"panic\": \"injected failure at seed 7\""));
+    }
+
+    #[test]
+    fn preset_interrupt_flag_stops_before_any_work() {
+        static FLAG: AtomicBool = AtomicBool::new(true);
+        let entries = vec![find("short-flows").unwrap()];
+        let cfg = RunnerConfig {
+            jobs: 1,
+            interrupt: Some(&FLAG),
+            ..RunnerConfig::new()
+        };
+        let batch = run_batch(&entries, &cfg);
+        assert!(batch.interrupted);
+        assert!(batch.results.is_empty(), "no task should have been claimed");
+        assert!(batch.timings_json().contains("\"interrupted\": true"));
+    }
+
+    #[test]
+    fn journal_replay_prefills_cells_byte_identically() {
+        use crate::journal::{Journal, JournalHeader};
+        let dir = std::env::temp_dir().join(format!(
+            "td-runner-replay-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let entries = vec![find("short-flows").unwrap(), find("fig8").unwrap()];
+        let cfg = RunnerConfig {
+            jobs: 2,
+            master_seed: 7,
+            replicates: 2,
+            ..RunnerConfig::new()
+        };
+        let header = JournalHeader {
+            master_seed: cfg.master_seed,
+            profile: cfg.profile,
+            replicates: cfg.replicates,
+            ids: entries.iter().map(|e| e.id.to_owned()).collect(),
+        };
+        let journal = Mutex::new(Journal::create(&dir, &header).unwrap());
+        let first = run_batch_resumable(&entries, &cfg, Some(&journal), Vec::new());
+        drop(journal);
+        assert!(!first.interrupted);
+        assert_eq!(first.journal_replayed, 0);
+
+        let (got_header, cells) = Journal::load(&dir).unwrap();
+        assert_eq!(got_header, header);
+        assert_eq!(cells.len(), 4, "every cell journaled");
+
+        // Replaying the complete journal re-runs nothing and reproduces
+        // every report byte-for-byte.
+        let second = run_batch_resumable(&entries, &cfg, None, cells);
+        assert_eq!(second.journal_replayed, 4);
+        assert!(second.results.iter().all(|r| r.replayed));
+        assert_eq!(first.results.len(), second.results.len());
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!((a.id, a.replicate, a.seed), (b.id, b.replicate, b.seed));
+            assert_eq!(a.report.to_string(), b.report.to_string());
+            assert_eq!(a.report.csvs, b.report.csvs);
+            assert_eq!(a.report.blobs, b.report.blobs);
+            assert!(!a.replayed);
+        }
+        assert!(second.timings_json().contains("\"journal_replayed\": 4"));
+
+        // A stale cell (wrong seed) is ignored, not trusted.
+        let (_, mut cells) = Journal::load(&dir).unwrap();
+        cells[0].seed ^= 1;
+        let third = run_batch_resumable(&entries, &cfg, None, cells);
+        assert_eq!(third.journal_replayed, 3);
+        assert_eq!(third.results.len(), 4, "dropped cell re-ran");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -145,6 +145,22 @@ impl Scenario {
 
     /// Build the world, attach the endpoints, run, and return the results.
     pub fn run(&self) -> Run {
+        let mut run = self.build();
+        self.finish(&mut run);
+        run
+    }
+
+    /// Build the world and attach the endpoints **without executing any
+    /// events**: every connection's start is scheduled, the clock is at
+    /// zero. [`Scenario::finish`] then runs it to the end.
+    ///
+    /// The split exists for checkpoint/restore: a freshly-built twin is
+    /// the structural template [`td_net::World::restore`] applies a
+    /// [`td_net::Snapshot`] onto, and the snapshot-equivalence tests run
+    /// one twin straight through while snapshotting/restoring another
+    /// mid-flight. `run()` is exactly `build()` + `finish()`, so the
+    /// golden-hash determinism pin covers both paths.
+    pub fn build(&self) -> Run {
         assert!(
             self.warmup < self.duration,
             "warmup must leave a measurement window"
@@ -214,14 +230,6 @@ impl Scenario {
             rev_conns.push(c);
             conns.push(c);
         }
-        let t_end = SimTime::ZERO + self.duration;
-        let outcome = match &self.watchdog {
-            Some(cfg) => Some(d.world.run_until_quiescent(t_end, cfg)),
-            None => {
-                d.world.run_until(t_end);
-                None
-            }
-        };
         Run {
             world: d.world,
             host1: d.host1,
@@ -231,11 +239,26 @@ impl Scenario {
             fwd: fwd_conns,
             rev: rev_conns,
             t0: SimTime::ZERO + self.warmup,
-            t1: t_end,
+            t1: SimTime::ZERO + self.duration,
             senders,
             receivers,
-            outcome,
+            outcome: None,
         }
+    }
+
+    /// Execute a [`Scenario::build`]-produced run to its end time
+    /// (`run.t1`), honouring the watchdog configuration. Safe to call
+    /// after the world has already advanced — e.g. a partial
+    /// `run_until(T)` followed by a snapshot/restore — the event loop
+    /// simply continues to `t1`.
+    pub fn finish(&self, run: &mut Run) {
+        run.outcome = match &self.watchdog {
+            Some(cfg) => Some(run.world.run_until_quiescent(run.t1, cfg)),
+            None => {
+                run.world.run_until(run.t1);
+                None
+            }
+        };
     }
 }
 

@@ -207,6 +207,8 @@ where
     // the caller after the join so totals match a sequential run exactly.
     let telem: Vec<OnceLock<telemetry::Telemetry>> = (0..n).map(|_| OnceLock::new()).collect();
     let audits: Vec<OnceLock<td_net::audit::Tally>> = (0..n).map(|_| OnceLock::new()).collect();
+    let snaps: Vec<OnceLock<td_net::snapcount::SnapCounters>> =
+        (0..n).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..lease.slots {
@@ -217,9 +219,11 @@ where
                 }
                 telemetry::reset();
                 td_net::audit::reset_thread();
+                td_net::snapcount::reset_thread();
                 let r = f(i, &items[i]);
                 let _ = telem[i].set(telemetry::snapshot());
                 let _ = audits[i].set(td_net::audit::take_thread());
+                let _ = snaps[i].set(td_net::snapcount::take_thread());
                 let _ = slots[i].set(r);
             });
         }
@@ -243,6 +247,11 @@ where
     for a in audits {
         if let Some(delta) = a.into_inner() {
             td_net::audit::absorb(delta);
+        }
+    }
+    for s in &snaps {
+        if let Some(&delta) = s.get() {
+            td_net::snapcount::absorb(delta);
         }
     }
     slots

@@ -19,6 +19,7 @@ fn one_job() -> RunnerConfig {
         master_seed: 1,
         replicates: 1,
         progress: false,
+        interrupt: None,
     }
 }
 
@@ -70,8 +71,15 @@ impl Endpoint for Wedged {
     }
 }
 
+/// Where the watchdog drops post-mortem snapshots; CI uploads this
+/// directory as an artifact after the forced-stall test runs.
+fn post_mortem_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("postmortem")
+}
+
 /// An experiment whose world stalls; the watchdog verdict goes into the
-/// report's diagnostics instead of hanging or panicking.
+/// report's diagnostics instead of hanging or panicking, and the stalled
+/// world is dumped as a post-mortem snapshot.
 fn stalling(_seed: u64, _profile: Profile) -> Report {
     let mut w = World::new(1);
     let h0 = w.add_host("H0", SimDuration::from_micros(100));
@@ -91,7 +99,10 @@ fn stalling(_seed: u64, _profile: Profile) -> Report {
     w.start_at(ep, SimTime::ZERO);
     let outcome = w.run_until_quiescent(
         SimTime::ZERO + SimDuration::from_secs(10),
-        &WatchdogConfig::default(),
+        &WatchdogConfig {
+            post_mortem_dir: Some(post_mortem_dir()),
+            ..WatchdogConfig::default()
+        },
     );
     let mut rep = Report::new("force-stall", "forced stall", "wedged endpoint");
     match &outcome {
@@ -125,4 +136,25 @@ fn forced_stall_surfaces_in_timings_json() {
         json.contains("wedged on purpose"),
         "stuck-connection detail missing from timings.json:\n{json}"
     );
+    // The stalled world was dumped as a post-mortem snapshot: the file
+    // exists on disk (CI uploads the directory as an artifact), the
+    // stall report names it, and the snapshot counter saw the dump.
+    assert!(
+        json.contains("post-mortem snapshot:"),
+        "stall report doesn't name the post-mortem file:\n{json}"
+    );
+    let dumps: Vec<_> = std::fs::read_dir(post_mortem_dir())
+        .expect("post-mortem dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tdsnap"))
+        .collect();
+    assert!(!dumps.is_empty(), "no .tdsnap post-mortem file written");
+    assert!(
+        batch.results[0].snap.taken >= 1,
+        "post-mortem snapshot not counted in snap telemetry"
+    );
+    assert!(json.contains("\"snapshots_taken\""));
+    // The dump is a loadable snapshot, not just bytes on disk.
+    let loaded = td_net::Snapshot::read_from_file(&dumps[0].path());
+    assert!(loaded.is_ok(), "post-mortem snapshot unreadable");
 }

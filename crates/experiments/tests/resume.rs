@@ -1,0 +1,152 @@
+//! Kill-and-resume: crash a sweep mid-flight, resume it, and demand the
+//! outputs be byte-identical to an uninterrupted run.
+//!
+//! Drives the real `td-repro` binary. The crash is injected with
+//! `TD_REPRO_KILL_AFTER_CELLS=1`: the process calls `abort()` the
+//! instant the first cell's journal line is durable — the harshest
+//! possible crash point, with workers mid-experiment and no output
+//! files written. `--resume` must then replay the journaled cell, run
+//! only the missing ones, and reproduce the clean run's stdout and
+//! every output file byte-for-byte. Only `timings.json` (wall-clock
+//! noise) and the journal itself are excluded from the comparison.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const EXE: &str = env!("CARGO_BIN_EXE_td-repro");
+
+/// Files excluded from the byte-for-byte diff: wall-clock-bearing
+/// observability, the journal, and (paranoia) leftover temp files.
+fn excluded(name: &str) -> bool {
+    name == "timings.json" || name == "journal.tdj" || name.ends_with(".tmp")
+}
+
+fn run_repro(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(EXE);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn td-repro")
+}
+
+fn dir_contents(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read output dir") {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if excluded(&name) || !entry.file_type().unwrap().is_file() {
+            continue;
+        }
+        out.insert(name, std::fs::read(entry.path()).unwrap());
+    }
+    out
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("td-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identically() {
+    let clean = tmp_dir("clean");
+    let crash = tmp_dir("crash");
+
+    // The reference: an uninterrupted sweep.
+    let clean_out = run_repro(
+        &[
+            "fig8",
+            "short-flows",
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--out",
+            clean.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(
+        clean_out.status.success(),
+        "clean run failed: {}",
+        String::from_utf8_lossy(&clean_out.stderr)
+    );
+
+    // The victim: same sweep, aborted right after the first journaled
+    // cell becomes durable.
+    let killed_out = run_repro(
+        &[
+            "fig8",
+            "short-flows",
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--out",
+            crash.to_str().unwrap(),
+        ],
+        &[("TD_REPRO_KILL_AFTER_CELLS", "1")],
+    );
+    assert!(
+        !killed_out.status.success(),
+        "kill hook should have aborted the process"
+    );
+    let journal = crash.join("journal.tdj");
+    assert!(journal.exists(), "crash left no journal behind");
+    let journaled_lines = std::fs::read_to_string(&journal).unwrap().lines().count();
+    assert!(
+        journaled_lines >= 2,
+        "journal should hold the header plus at least one cell, got {journaled_lines} lines"
+    );
+
+    // The recovery: --resume replays the journal and finishes the rest.
+    let resumed_out = run_repro(&["--resume", crash.to_str().unwrap(), "--jobs", "2"], &[]);
+    assert!(
+        resumed_out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed_out.stderr)
+    );
+    let resumed_err = String::from_utf8_lossy(&resumed_out.stderr);
+    assert!(
+        resumed_err.contains("resuming from"),
+        "resume banner missing: {resumed_err}"
+    );
+
+    // Reports on stdout are byte-identical — replayed or executed, the
+    // reader cannot tell the difference.
+    assert_eq!(
+        String::from_utf8_lossy(&clean_out.stdout),
+        String::from_utf8_lossy(&resumed_out.stdout),
+        "resumed stdout diverged from the uninterrupted run"
+    );
+
+    // Every output file (CSVs, blobs, SUMMARY.md) is byte-identical.
+    let clean_files = dir_contents(&clean);
+    let resumed_files = dir_contents(&crash);
+    assert!(!clean_files.is_empty(), "clean run wrote no outputs");
+    assert_eq!(
+        clean_files.keys().collect::<Vec<_>>(),
+        resumed_files.keys().collect::<Vec<_>>(),
+        "output file sets differ"
+    );
+    for (name, bytes) in &clean_files {
+        assert_eq!(
+            bytes, &resumed_files[name],
+            "{name} diverged between clean and resumed runs"
+        );
+    }
+
+    // The resumed timings.json records the replay.
+    let timings = std::fs::read_to_string(crash.join("timings.json")).unwrap();
+    assert!(
+        timings.contains("\"journal_replayed\": "),
+        "timings.json missing journal telemetry: {timings}"
+    );
+    assert!(timings.contains("\"interrupted\": false"));
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&crash);
+}

@@ -267,6 +267,96 @@ impl Audit {
     pub fn total_violations(&self) -> u64 {
         self.total
     }
+
+    /// Serialize the auditor (snapshot support). Maps are written in
+    /// sorted key order so the byte stream is deterministic.
+    pub(crate) fn save_state(&self, w: &mut td_engine::SnapWriter) {
+        w.write_u64(self.injected);
+        w.write_u64(self.delivered);
+        w.write_u64(self.dropped);
+        let mut acks: Vec<_> = self.last_ack.iter().collect();
+        acks.sort_by_key(|((c, n), _)| (c.0, n.0));
+        w.write_u64(acks.len() as u64);
+        for ((c, n), seq) in acks {
+            w.write_u32(c.0);
+            w.write_u32(n.0);
+            w.write_u64(*seq);
+        }
+        let mut bounds: Vec<_> = self.window_bounds.iter().collect();
+        bounds.sort_by_key(|(c, _)| c.0);
+        w.write_u64(bounds.len() as u64);
+        for (c, b) in bounds {
+            w.write_u32(c.0);
+            w.write_f64(*b);
+        }
+        w.write_u64(self.violations.len() as u64);
+        for v in &self.violations {
+            w.write_time(v.t);
+            w.write_u8(match v.invariant {
+                Invariant::PacketConservation => 0,
+                Invariant::MonotoneAck => 1,
+                Invariant::WindowBound => 2,
+                Invariant::QueueOccupancy => 3,
+            });
+            w.write_str(&v.detail);
+        }
+        w.write_u64(self.total);
+        w.write_bool(self.conservation_flagged);
+    }
+
+    /// Restore state written by [`Audit::save_state`].
+    ///
+    /// Fields are assigned directly, never through [`Audit::record`]:
+    /// replaying captured violations must not re-mirror them into the
+    /// thread-local tally the experiment harness meters.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut td_engine::SnapReader<'_>,
+    ) -> Result<(), td_engine::SnapError> {
+        self.injected = r.read_u64()?;
+        self.delivered = r.read_u64()?;
+        self.dropped = r.read_u64()?;
+        let n_acks = r.read_u64()?;
+        self.last_ack = HashMap::with_capacity(n_acks as usize);
+        for _ in 0..n_acks {
+            let c = ConnId(r.read_u32()?);
+            let n = NodeId(r.read_u32()?);
+            let seq = r.read_u64()?;
+            self.last_ack.insert((c, n), seq);
+        }
+        let n_bounds = r.read_u64()?;
+        self.window_bounds = HashMap::with_capacity(n_bounds as usize);
+        for _ in 0..n_bounds {
+            let c = ConnId(r.read_u32()?);
+            let b = r.read_f64()?;
+            self.window_bounds.insert(c, b);
+        }
+        let n_viol = r.read_u64()?;
+        self.violations = Vec::with_capacity((n_viol as usize).min(MAX_RECORDED));
+        for _ in 0..n_viol {
+            let t = r.read_time()?;
+            let invariant = match r.read_u8()? {
+                0 => Invariant::PacketConservation,
+                1 => Invariant::MonotoneAck,
+                2 => Invariant::WindowBound,
+                3 => Invariant::QueueOccupancy,
+                k => {
+                    return Err(td_engine::SnapError::Corrupt(format!(
+                        "unknown invariant tag {k}"
+                    )))
+                }
+            };
+            let detail = r.read_str()?;
+            self.violations.push(AuditViolation {
+                t,
+                invariant,
+                detail,
+            });
+        }
+        self.total = r.read_u64()?;
+        self.conservation_flagged = r.read_bool()?;
+        Ok(())
+    }
 }
 
 /// Per-thread violation tally for the experiment harness: worlds mirror

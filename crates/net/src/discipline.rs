@@ -14,7 +14,23 @@
 
 use crate::packet::{ConnId, Packet};
 use std::collections::VecDeque;
-use td_engine::SimRng;
+use td_engine::{SimRng, SnapError, SnapReader, SnapWriter};
+
+fn save_packets(q: &VecDeque<Packet>, w: &mut SnapWriter) {
+    w.write_u64(q.len() as u64);
+    for p in q {
+        p.save_state(w);
+    }
+}
+
+fn load_packets(r: &mut SnapReader<'_>) -> Result<VecDeque<Packet>, SnapError> {
+    let n = r.read_u64()?;
+    let mut q = VecDeque::with_capacity((n as usize).min(r.remaining()));
+    for _ in 0..n {
+        q.push_back(Packet::load_state(r)?);
+    }
+    Ok(q)
+}
 
 /// A buildable, copyable selector for the discipline of a channel —
 /// what scenario configs carry instead of boxed trait objects.
@@ -89,6 +105,16 @@ pub trait Discipline: Send {
     /// Iterate the waiting packets in service order (diagnostics and
     /// invariant checks; not used on the hot path).
     fn waiting(&self) -> Vec<Packet>;
+
+    /// Serialize the discipline's mutable state — buffered packets plus
+    /// any online estimators (snapshot support). Structural parameters
+    /// (thresholds, weights) are carried by the rebuilt scenario, not the
+    /// snapshot.
+    fn save_state(&self, w: &mut SnapWriter);
+
+    /// Restore state written by [`Discipline::save_state`] onto a freshly
+    /// built discipline of the same kind and parameters.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -132,6 +158,15 @@ impl Discipline for DropTail {
 
     fn waiting(&self) -> Vec<Packet> {
         self.q.iter().copied().collect()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_packets(&self.q, w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.q = load_packets(r)?;
+        Ok(())
     }
 }
 
@@ -184,6 +219,15 @@ impl Discipline for RandomDrop {
 
     fn waiting(&self) -> Vec<Packet> {
         self.q.iter().copied().collect()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_packets(&self.q, w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.q = load_packets(r)?;
+        Ok(())
     }
 }
 
@@ -298,6 +342,39 @@ impl Discipline for FairQueueing {
 
     fn name(&self) -> &'static str {
         "fair-queueing"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.write_u64(self.virtual_time);
+        w.write_u64(self.flows.len() as u64);
+        for (conn, q) in &self.flows {
+            w.write_u32(conn.0);
+            w.write_u64(q.len() as u64);
+            for t in q {
+                t.pkt.save_state(w);
+                w.write_u64(t.finish);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.virtual_time = r.read_u64()?;
+        let n_flows = r.read_u64()?;
+        self.flows = Vec::with_capacity((n_flows as usize).min(r.remaining()));
+        self.waiting = 0;
+        for _ in 0..n_flows {
+            let conn = ConnId(r.read_u32()?);
+            let n = r.read_u64()?;
+            let mut q = VecDeque::with_capacity((n as usize).min(r.remaining()));
+            for _ in 0..n {
+                let pkt = Packet::load_state(r)?;
+                let finish = r.read_u64()?;
+                q.push_back(TaggedPacket { pkt, finish });
+            }
+            self.waiting += q.len();
+            self.flows.push((conn, q));
+        }
+        Ok(())
     }
 
     fn waiting(&self) -> Vec<Packet> {
@@ -605,6 +682,19 @@ impl Discipline for Red {
 
     fn waiting(&self) -> Vec<Packet> {
         self.q.iter().copied().collect()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_packets(&self.q, w);
+        w.write_f64(self.avg);
+        w.write_i64(self.count);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.q = load_packets(r)?;
+        self.avg = r.read_f64()?;
+        self.count = r.read_i64()?;
+        Ok(())
     }
 }
 

@@ -158,6 +158,17 @@ impl GilbertElliott {
         })
     }
 
+    /// Current Markov state (snapshot support: the only mutable fault
+    /// progress in a plan).
+    pub(crate) fn in_bad(&self) -> bool {
+        self.in_bad
+    }
+
+    /// Restore the Markov state captured by [`GilbertElliott::in_bad`].
+    pub(crate) fn set_in_bad(&mut self, in_bad: bool) {
+        self.in_bad = in_bad;
+    }
+
     /// Advance the chain one packet and decide whether that packet is
     /// lost. Loss is sampled in the state the packet *sees* (post
     /// transition), so `p_enter = 1` makes the very first packet eligible.

@@ -98,6 +98,7 @@ mod discipline;
 mod fault;
 mod packet;
 pub mod pcap;
+pub mod snapcount;
 mod topology;
 mod trace;
 mod watchdog;
@@ -115,4 +116,4 @@ pub use trace::{DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceRecord
 pub use watchdog::{
     EndpointProgress, RunOutcome, StallKind, StallReport, StuckConn, WatchdogConfig,
 };
-pub use world::{ChannelId, ChannelStats, Ctx, Endpoint, EndpointId, TimerHandle, World};
+pub use world::{ChannelId, ChannelStats, Ctx, Endpoint, EndpointId, Snapshot, TimerHandle, World};

@@ -77,6 +77,56 @@ impl Packet {
     pub fn is_ack(&self) -> bool {
         self.kind == PacketKind::Ack
     }
+
+    /// Serialize every field (snapshot support). Packets appear in queue
+    /// disciplines, host processing queues, channel service slots, and
+    /// pending arrival events, so the full metadata must round-trip.
+    pub(crate) fn save_state(&self, w: &mut td_engine::SnapWriter) {
+        w.write_u64(self.id.0);
+        w.write_u32(self.conn.0);
+        w.write_u8(match self.kind {
+            PacketKind::Data => 0,
+            PacketKind::Ack => 1,
+        });
+        w.write_u64(self.seq);
+        w.write_u64(self.ack);
+        w.write_u32(self.size);
+        w.write_u32(self.src.0);
+        w.write_u32(self.dst.0);
+        w.write_time(self.sent_at);
+        w.write_bool(self.retx);
+        w.write_bool(self.ce);
+    }
+
+    /// Deserialize a packet written by [`Packet::save_state`].
+    pub(crate) fn load_state(
+        r: &mut td_engine::SnapReader<'_>,
+    ) -> Result<Packet, td_engine::SnapError> {
+        let id = PacketId(r.read_u64()?);
+        let conn = ConnId(r.read_u32()?);
+        let kind = match r.read_u8()? {
+            0 => PacketKind::Data,
+            1 => PacketKind::Ack,
+            k => {
+                return Err(td_engine::SnapError::Corrupt(format!(
+                    "unknown packet kind tag {k}"
+                )))
+            }
+        };
+        Ok(Packet {
+            id,
+            conn,
+            kind,
+            seq: r.read_u64()?,
+            ack: r.read_u64()?,
+            size: r.read_u32()?,
+            src: NodeId(r.read_u32()?),
+            dst: NodeId(r.read_u32()?),
+            sent_at: r.read_time()?,
+            retx: r.read_bool()?,
+            ce: r.read_bool()?,
+        })
+    }
 }
 
 impl fmt::Display for Packet {

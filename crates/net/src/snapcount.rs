@@ -1,0 +1,85 @@
+//! Thread-local snapshot/restore counters for the experiment harness.
+//!
+//! [`crate::World::snapshot`] and [`crate::World::restore`] tick these so
+//! the runner can surface checkpoint activity (including watchdog
+//! post-mortem dumps) in `timings.json` without threading a counter
+//! through every call site. Same discipline as [`crate::audit`]'s tally
+//! and `td_engine::telemetry`: reset before a task, take after, merge
+//! helper-thread deltas with [`absorb`].
+
+use std::cell::Cell;
+
+/// Snapshot activity on one thread since the last [`reset_thread`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapCounters {
+    /// Worlds serialized ([`crate::World::snapshot`] calls).
+    pub taken: u64,
+    /// Worlds deserialized ([`crate::World::restore`] calls that
+    /// succeeded).
+    pub restored: u64,
+}
+
+thread_local! {
+    static TAKEN: Cell<u64> = const { Cell::new(0) };
+    static RESTORED: Cell<u64> = const { Cell::new(0) };
+}
+
+pub(crate) fn on_snapshot() {
+    TAKEN.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn on_restore() {
+    RESTORED.with(|c| c.set(c.get() + 1));
+}
+
+/// Clear this thread's counters (harness: before running a task).
+pub fn reset_thread() {
+    TAKEN.with(|c| c.set(0));
+    RESTORED.with(|c| c.set(0));
+}
+
+/// Take this thread's counters, leaving them zero (harness: after a task).
+pub fn take_thread() -> SnapCounters {
+    SnapCounters {
+        taken: TAKEN.with(|c| c.replace(0)),
+        restored: RESTORED.with(|c| c.replace(0)),
+    }
+}
+
+/// Fold a helper thread's counters into this thread's (harness:
+/// `parallel_map` merging metered deltas back into the caller).
+pub fn absorb(delta: SnapCounters) {
+    TAKEN.with(|c| c.set(c.get() + delta.taken));
+    RESTORED.with(|c| c.set(c.get() + delta.restored));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_take_absorb_roundtrip() {
+        reset_thread();
+        on_snapshot();
+        on_snapshot();
+        on_restore();
+        let a = take_thread();
+        assert_eq!(
+            a,
+            SnapCounters {
+                taken: 2,
+                restored: 1
+            }
+        );
+        assert_eq!(take_thread(), SnapCounters::default(), "take leaves zero");
+        on_snapshot();
+        absorb(a);
+        assert_eq!(
+            take_thread(),
+            SnapCounters {
+                taken: 3,
+                restored: 1
+            }
+        );
+    }
+}

@@ -226,6 +226,11 @@ impl Trace {
     pub fn clear(&mut self) {
         self.records.clear();
     }
+
+    /// Replace the full record list (snapshot restore).
+    pub(crate) fn set_records(&mut self, records: Vec<TraceRecord>) {
+        self.records = records;
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! endpoint out of stall attribution (an infinite source is never
 //! "stuck").
 
+use std::path::PathBuf;
 use td_engine::{SimDuration, SimTime};
 
 /// What an endpoint reports about its own progress, used by the watchdog
@@ -37,7 +38,7 @@ pub struct EndpointProgress {
 }
 
 /// Watchdog policy for [`crate::World::run_until_quiescent`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct WatchdogConfig {
     /// Livelock window: if events dispatch but nothing is delivered for
     /// longer than this while unfinished endpoints exist, the run is
@@ -46,6 +47,12 @@ pub struct WatchdogConfig {
     /// Optional event budget (like [`crate::World::run_until_bounded`]);
     /// exhausting it yields [`StallKind::BudgetExhausted`].
     pub max_events: Option<u64>,
+    /// Where to dump a post-mortem snapshot of the stalled world when a
+    /// deadlock or livelock verdict is reached (`None` = don't). The file
+    /// is named `postmortem-<kind>-t<ns>.tdsnap` after the *simulation*
+    /// time of the verdict, so repeated deterministic runs overwrite the
+    /// same file rather than accumulating wall-clock-named copies.
+    pub post_mortem_dir: Option<PathBuf>,
 }
 
 impl Default for WatchdogConfig {
@@ -53,6 +60,7 @@ impl Default for WatchdogConfig {
         WatchdogConfig {
             progress_window: SimDuration::from_secs(60),
             max_events: None,
+            post_mortem_dir: None,
         }
     }
 }
@@ -103,6 +111,9 @@ pub struct StallReport {
     pub note: String,
     /// Endpoints that report unfinished work, with their timer state.
     pub stuck: Vec<StuckConn>,
+    /// Path of the post-mortem snapshot of the stalled world, if the
+    /// watchdog was configured to write one and the write succeeded.
+    pub post_mortem: Option<PathBuf>,
 }
 
 impl StallReport {
@@ -118,6 +129,9 @@ impl StallReport {
         );
         for s in &self.stuck {
             out.push_str(&format!("; conn {} on {}: {}", s.conn, s.host, s.detail));
+        }
+        if let Some(p) = &self.post_mortem {
+            out.push_str(&format!("; post-mortem snapshot: {}", p.display()));
         }
         out
     }

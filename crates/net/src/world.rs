@@ -29,13 +29,17 @@ use crate::audit::Audit;
 use crate::discipline::{Discipline, Victim};
 use crate::fault::{FaultError, FaultKind, FaultModel, FaultOutcome, FaultPlan};
 use crate::packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
-use crate::trace::{DropReason, ProtoEvent, Trace, TraceEvent};
+use crate::snapcount;
+use crate::trace::{DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceRecord};
 use crate::watchdog::{
     EndpointProgress, RunOutcome, StallKind, StallReport, StuckConn, WatchdogConfig,
 };
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use td_engine::{EventId, EventQueue, Rate, SimDuration, SimRng, SimTime};
+use std::path::Path;
+use td_engine::{
+    EventId, EventQueue, Rate, SimDuration, SimRng, SimTime, SnapError, SnapReader, SnapWriter,
+};
 
 /// Base label for deriving each channel's private fault RNG stream from
 /// the world seed (`derive(FAULT_STREAM ^ channel_id)`).
@@ -52,6 +56,25 @@ pub struct EndpointId(pub u32);
 /// Handle to a pending endpoint timer, used to cancel it.
 #[derive(Clone, Copy, Debug)]
 pub struct TimerHandle(EventId);
+
+impl TimerHandle {
+    /// Serialize the handle (snapshot support for endpoints holding armed
+    /// timers). Only meaningful against the event-queue state captured in
+    /// the same snapshot: the queue round-trips its slab cell-for-cell, so
+    /// a live handle stays live and a stale one stays stale.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let (slot, gen) = self.0.into_raw();
+        w.write_u32(slot);
+        w.write_u64(gen);
+    }
+
+    /// Deserialize a handle written by [`TimerHandle::save_state`].
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<TimerHandle, SnapError> {
+        let slot = r.read_u32()?;
+        let gen = r.read_u64()?;
+        Ok(TimerHandle(EventId::from_raw(slot, gen)))
+    }
+}
 
 /// Online per-channel counters, maintained regardless of trace recording.
 #[derive(Clone, Copy, Default, Debug)]
@@ -96,6 +119,24 @@ pub trait Endpoint {
     /// receiver has no defined notion of "done".
     fn progress(&self) -> EndpointProgress {
         EndpointProgress::default()
+    }
+
+    /// Serialize the endpoint's mutable protocol state (snapshot
+    /// support). [`crate::World::snapshot`] wraps each endpoint in a
+    /// length-prefixed section, so `save_state` and `load_state` must
+    /// consume symmetrically — any asymmetry fails loudly at the
+    /// endpoint's own boundary. The default writes nothing, which is
+    /// correct only for stateless endpoints; real protocols override
+    /// both hooks.
+    fn save_state(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restore state written by [`Endpoint::save_state`] onto a freshly
+    /// built endpoint of the same configuration.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Ok(())
     }
 }
 
@@ -170,6 +211,257 @@ enum Event {
     /// queued. Also keeps the event queue non-empty for the whole outage,
     /// so a down link is never mistaken for quiescence.
     LinkUp(ChannelId),
+}
+
+fn save_event(ev: &Event, w: &mut SnapWriter) {
+    match ev {
+        Event::TxComplete(ch) => {
+            w.write_u8(0);
+            w.write_u32(ch.0);
+        }
+        Event::Arrival { ch, pkt } => {
+            w.write_u8(1);
+            w.write_u32(ch.0);
+            pkt.save_state(w);
+        }
+        Event::HostProcess(node) => {
+            w.write_u8(2);
+            w.write_u32(node.0);
+        }
+        Event::Timer { ep, token } => {
+            w.write_u8(3);
+            w.write_u32(ep.0);
+            w.write_u64(*token);
+        }
+        Event::Start(ep) => {
+            w.write_u8(4);
+            w.write_u32(ep.0);
+        }
+        Event::LinkUp(ch) => {
+            w.write_u8(5);
+            w.write_u32(ch.0);
+        }
+    }
+}
+
+fn load_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
+    Ok(match r.read_u8()? {
+        0 => Event::TxComplete(ChannelId(r.read_u32()?)),
+        1 => Event::Arrival {
+            ch: ChannelId(r.read_u32()?),
+            pkt: Packet::load_state(r)?,
+        },
+        2 => Event::HostProcess(NodeId(r.read_u32()?)),
+        3 => Event::Timer {
+            ep: EndpointId(r.read_u32()?),
+            token: r.read_u64()?,
+        },
+        4 => Event::Start(EndpointId(r.read_u32()?)),
+        5 => Event::LinkUp(ChannelId(r.read_u32()?)),
+        t => return Err(SnapError::Corrupt(format!("unknown event tag {t}"))),
+    })
+}
+
+fn save_trace_record(rec: &TraceRecord, w: &mut SnapWriter) {
+    w.write_time(rec.t);
+    match &rec.ev {
+        TraceEvent::Send { node, pkt } => {
+            w.write_u8(0);
+            w.write_u32(node.0);
+            pkt.save_state(w);
+        }
+        TraceEvent::Enqueue {
+            ch,
+            pkt,
+            qlen_after,
+        } => {
+            w.write_u8(1);
+            w.write_u32(ch.0);
+            pkt.save_state(w);
+            w.write_u32(*qlen_after);
+        }
+        TraceEvent::Drop {
+            ch,
+            pkt,
+            reason,
+            qlen,
+        } => {
+            w.write_u8(2);
+            w.write_u32(ch.0);
+            pkt.save_state(w);
+            w.write_u8(match reason {
+                DropReason::BufferFull => 0,
+                DropReason::Fault => 1,
+                DropReason::EarlyDrop => 2,
+                DropReason::LinkDown => 3,
+            });
+            w.write_u32(*qlen);
+        }
+        TraceEvent::TxStart { ch, pkt } => {
+            w.write_u8(3);
+            w.write_u32(ch.0);
+            pkt.save_state(w);
+        }
+        TraceEvent::TxEnd {
+            ch,
+            pkt,
+            qlen_after,
+        } => {
+            w.write_u8(4);
+            w.write_u32(ch.0);
+            pkt.save_state(w);
+            w.write_u32(*qlen_after);
+        }
+        TraceEvent::Deliver { node, pkt } => {
+            w.write_u8(5);
+            w.write_u32(node.0);
+            pkt.save_state(w);
+        }
+        TraceEvent::Proto { conn, node, ev } => {
+            w.write_u8(6);
+            w.write_u32(conn.0);
+            w.write_u32(node.0);
+            match ev {
+                ProtoEvent::Cwnd { cwnd, ssthresh } => {
+                    w.write_u8(0);
+                    w.write_f64(*cwnd);
+                    w.write_f64(*ssthresh);
+                }
+                ProtoEvent::LossDetected { seq, kind } => {
+                    w.write_u8(1);
+                    w.write_u64(*seq);
+                    w.write_u8(match kind {
+                        LossKind::DupAck => 0,
+                        LossKind::Timeout => 1,
+                    });
+                }
+                ProtoEvent::Retransmit { seq } => {
+                    w.write_u8(2);
+                    w.write_u64(*seq);
+                }
+                ProtoEvent::InOrder { seq } => {
+                    w.write_u8(3);
+                    w.write_u64(*seq);
+                }
+            }
+        }
+    }
+}
+
+fn load_trace_record(r: &mut SnapReader<'_>) -> Result<TraceRecord, SnapError> {
+    let t = r.read_time()?;
+    let ev = match r.read_u8()? {
+        0 => TraceEvent::Send {
+            node: NodeId(r.read_u32()?),
+            pkt: Packet::load_state(r)?,
+        },
+        1 => TraceEvent::Enqueue {
+            ch: ChannelId(r.read_u32()?),
+            pkt: Packet::load_state(r)?,
+            qlen_after: r.read_u32()?,
+        },
+        2 => TraceEvent::Drop {
+            ch: ChannelId(r.read_u32()?),
+            pkt: Packet::load_state(r)?,
+            reason: match r.read_u8()? {
+                0 => DropReason::BufferFull,
+                1 => DropReason::Fault,
+                2 => DropReason::EarlyDrop,
+                3 => DropReason::LinkDown,
+                k => return Err(SnapError::Corrupt(format!("unknown drop reason tag {k}"))),
+            },
+            qlen: r.read_u32()?,
+        },
+        3 => TraceEvent::TxStart {
+            ch: ChannelId(r.read_u32()?),
+            pkt: Packet::load_state(r)?,
+        },
+        4 => TraceEvent::TxEnd {
+            ch: ChannelId(r.read_u32()?),
+            pkt: Packet::load_state(r)?,
+            qlen_after: r.read_u32()?,
+        },
+        5 => TraceEvent::Deliver {
+            node: NodeId(r.read_u32()?),
+            pkt: Packet::load_state(r)?,
+        },
+        6 => TraceEvent::Proto {
+            conn: ConnId(r.read_u32()?),
+            node: NodeId(r.read_u32()?),
+            ev: match r.read_u8()? {
+                0 => ProtoEvent::Cwnd {
+                    cwnd: r.read_f64()?,
+                    ssthresh: r.read_f64()?,
+                },
+                1 => ProtoEvent::LossDetected {
+                    seq: r.read_u64()?,
+                    kind: match r.read_u8()? {
+                        0 => LossKind::DupAck,
+                        1 => LossKind::Timeout,
+                        k => return Err(SnapError::Corrupt(format!("unknown loss kind tag {k}"))),
+                    },
+                },
+                2 => ProtoEvent::Retransmit { seq: r.read_u64()? },
+                3 => ProtoEvent::InOrder { seq: r.read_u64()? },
+                k => return Err(SnapError::Corrupt(format!("unknown proto event tag {k}"))),
+            },
+        },
+        k => return Err(SnapError::Corrupt(format!("unknown trace event tag {k}"))),
+    };
+    Ok(TraceRecord { t, ev })
+}
+
+/// A versioned, self-contained capture of a [`World`]'s mutable state,
+/// produced by [`World::snapshot`] and consumed by [`World::restore`].
+///
+/// The format is a flat little-endian byte stream behind a 4-byte magic
+/// and a `u32` version; readers refuse unknown versions rather than
+/// guessing. Structural configuration (topology, rates, capacities, fault
+/// *plans*, endpoint parameters) is **not** captured — a snapshot is
+/// applied onto a world freshly built from the same `(config, seed)`
+/// pair, and [`World::restore`] cross-checks seed and component counts to
+/// catch mismatched pairings early.
+pub struct Snapshot {
+    bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// File/stream magic: "TDSN".
+    pub const MAGIC: &'static [u8; 4] = b"TDSN";
+    /// Current format version.
+    pub const VERSION: u32 = 1;
+
+    /// The raw snapshot bytes (header included).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Adopt raw bytes, validating the magic and version (the payload is
+    /// validated lazily by [`World::restore`]).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(&bytes);
+        let version = r.expect_header(Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(SnapError::UnsupportedVersion(version));
+        }
+        Ok(Snapshot { bytes })
+    }
+
+    /// Write the snapshot to `path` atomically (temp file in the same
+    /// directory, then rename), so a crash mid-write never leaves a
+    /// truncated snapshot under the final name.
+    pub fn write_to_file(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &self.bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read and header-validate a snapshot file.
+    pub fn read_from_file(path: &Path) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::from_bytes(bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
 }
 
 /// The simulation: topology, endpoints, clock, trace.
@@ -445,6 +737,7 @@ impl World {
                             );
                             let mut report = self.stall_report(StallKind::Livelock, note);
                             report.stuck = stuck;
+                            self.write_post_mortem(cfg, &mut report);
                             return RunOutcome::Stalled(report);
                         }
                     }
@@ -464,6 +757,7 @@ impl World {
                     let note = format!("event queue empty, {} endpoint(s) unfinished", stuck.len());
                     let mut report = self.stall_report(StallKind::Deadlock, note);
                     report.stuck = stuck;
+                    self.write_post_mortem(cfg, &mut report);
                     return RunOutcome::Stalled(report);
                 }
             }
@@ -519,6 +813,31 @@ impl World {
             events_dispatched: self.queue.dispatched(),
             note,
             stuck: Vec::new(),
+            post_mortem: None,
+        }
+    }
+
+    /// Dump a post-mortem snapshot of this (stalled) world into the
+    /// watchdog's configured directory, recording the path in the report.
+    /// The filename carries the stall kind and *simulation* time, so
+    /// repeated deterministic runs overwrite one file instead of
+    /// accumulating wall-clock-named copies. I/O failure is swallowed:
+    /// a post-mortem must never turn a diagnosed stall into a panic.
+    fn write_post_mortem(&self, cfg: &WatchdogConfig, report: &mut StallReport) {
+        let Some(dir) = &cfg.post_mortem_dir else {
+            return;
+        };
+        let kind = match report.kind {
+            StallKind::Deadlock => "deadlock",
+            StallKind::Livelock => "livelock",
+            StallKind::BudgetExhausted => "budget",
+        };
+        let path = dir.join(format!(
+            "postmortem-{kind}-t{}.tdsnap",
+            report.at.as_nanos()
+        ));
+        if std::fs::create_dir_all(dir).is_ok() && self.snapshot().write_to_file(&path).is_ok() {
+            report.post_mortem = Some(path);
         }
     }
 
@@ -606,6 +925,200 @@ impl World {
             busy += now.saturating_since(started);
         }
         busy.as_secs_f64() / now.as_secs_f64()
+    }
+
+    // -- snapshot / restore -------------------------------------------------
+
+    /// Capture every piece of mutable simulation state: the event queue
+    /// (slab, generations, pending timers — cell for cell), the clock,
+    /// all RNG streams, per-channel occupancy and fault progress, host
+    /// processing queues, every endpoint's protocol state, the trace, and
+    /// the auditor. Restoring onto a world freshly built from the same
+    /// `(config, seed)` and running to the end is byte-identical to never
+    /// having stopped (see [`World::restore`]).
+    ///
+    /// Must be called between events — i.e. from outside the event loop,
+    /// never from inside an endpoint callback.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut w = SnapWriter::with_header(Snapshot::MAGIC, Snapshot::VERSION);
+        // Structural fingerprint, cross-checked by `restore`.
+        w.write_u64(self.seed);
+        w.write_u32(self.nodes.len() as u32);
+        w.write_u32(self.channels.len() as u32);
+        w.write_u32(self.endpoints.len() as u32);
+        // Engine state: pending events (with the clock inside), the shared
+        // stream, and the packet-id counter.
+        self.queue.save_state(&mut w, save_event);
+        w.write_rng(&self.rng);
+        w.write_u64(self.next_packet_id);
+        // Trace.
+        w.write_bool(self.trace.is_enabled());
+        let records = self.trace.records();
+        w.write_u64(records.len() as u64);
+        for rec in records {
+            save_trace_record(rec, &mut w);
+        }
+        // Auditor.
+        self.audit.save_state(&mut w);
+        // Per-host receive-path state (switches carry none).
+        for node in &self.nodes {
+            if let NodeKind::Host {
+                proc_queue,
+                proc_busy,
+                ..
+            } = &node.kind
+            {
+                w.write_bool(*proc_busy);
+                w.write_u64(proc_queue.len() as u64);
+                for p in proc_queue {
+                    p.save_state(&mut w);
+                }
+            }
+        }
+        // Per-channel mutable state. The discipline gets its own section
+        // so a save/load asymmetry in one implementation fails at its own
+        // boundary.
+        for ch in &self.channels {
+            match &ch.in_service {
+                Some((pkt, started)) => {
+                    w.write_bool(true);
+                    pkt.save_state(&mut w);
+                    w.write_time(*started);
+                }
+                None => w.write_bool(false),
+            }
+            w.write_bool(ch.fault.burst.as_ref().is_some_and(|b| b.in_bad()));
+            w.write_rng(&ch.rng);
+            w.write_dur(ch.stats.busy);
+            w.write_u64(ch.stats.tx_packets);
+            w.write_u64(ch.stats.tx_bytes);
+            w.write_u64(ch.stats.drops);
+            w.write_u64(ch.stats.enqueued);
+            let mut dw = SnapWriter::new();
+            ch.discipline.save_state(&mut dw);
+            w.write_section(dw);
+        }
+        // Endpoints, one section each (empty for a detached slot, which
+        // can only be observed if snapshot were called mid-dispatch — the
+        // symmetric read keeps even that case consistent).
+        for ep in &self.endpoints {
+            let mut ew = SnapWriter::new();
+            if let Some(ep) = ep {
+                ep.save_state(&mut ew);
+            }
+            w.write_section(ew);
+        }
+        snapcount::on_snapshot();
+        Snapshot {
+            bytes: w.into_bytes(),
+        }
+    }
+
+    /// Apply a [`Snapshot`] onto this world, which must have been freshly
+    /// built from the same `(config, seed)` pair as the world that was
+    /// captured. The seed and component counts are cross-checked; queue,
+    /// clock, RNG streams, channel and host occupancy, endpoint state,
+    /// trace, and auditor are all replaced wholesale. After a successful
+    /// restore, continuing the run is byte-identical (trace, report,
+    /// golden hash) to the uninterrupted original.
+    ///
+    /// On error the world is left in an unspecified half-restored state
+    /// and must be discarded; nothing outside `self` is touched. Note the
+    /// watchdog's livelock progress window restarts at the restore point
+    /// — the window's loop-local bookkeeping is intentionally not part of
+    /// the world (a resumed run gets a fresh grace period, never a
+    /// spurious verdict).
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(snap.as_bytes());
+        let version = r.expect_header(Snapshot::MAGIC)?;
+        if version != Snapshot::VERSION {
+            return Err(SnapError::UnsupportedVersion(version));
+        }
+        let seed = r.read_u64()?;
+        if seed != self.seed {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot was taken with seed {seed}, this world uses {}",
+                self.seed
+            )));
+        }
+        for (what, got, want) in [
+            ("nodes", r.read_u32()?, self.nodes.len() as u32),
+            ("channels", r.read_u32()?, self.channels.len() as u32),
+            ("endpoints", r.read_u32()?, self.endpoints.len() as u32),
+        ] {
+            if got != want {
+                return Err(SnapError::Mismatch(format!(
+                    "snapshot has {got} {what}, this world has {want}"
+                )));
+            }
+        }
+        // The queue is replaced wholesale — it carries the clock and any
+        // pending `LinkUp` wake-ups the builder already scheduled, so
+        // nothing is double-scheduled.
+        self.queue = EventQueue::load_state(&mut r, load_event)?;
+        self.rng = r.read_rng()?;
+        self.next_packet_id = r.read_u64()?;
+        let enabled = r.read_bool()?;
+        let n_rec = r.read_u64()?;
+        let mut records = Vec::with_capacity((n_rec as usize).min(r.remaining()));
+        for _ in 0..n_rec {
+            records.push(load_trace_record(&mut r)?);
+        }
+        self.trace.set_enabled(enabled);
+        self.trace.set_records(records);
+        self.audit.load_state(&mut r)?;
+        for node in &mut self.nodes {
+            if let NodeKind::Host {
+                proc_queue,
+                proc_busy,
+                ..
+            } = &mut node.kind
+            {
+                *proc_busy = r.read_bool()?;
+                let n = r.read_u64()?;
+                proc_queue.clear();
+                for _ in 0..n {
+                    proc_queue.push_back(Packet::load_state(&mut r)?);
+                }
+            }
+        }
+        for ch in &mut self.channels {
+            ch.in_service = if r.read_bool()? {
+                let pkt = Packet::load_state(&mut r)?;
+                let started = r.read_time()?;
+                Some((pkt, started))
+            } else {
+                None
+            };
+            let in_bad = r.read_bool()?;
+            match &mut ch.fault.burst {
+                Some(b) => b.set_in_bad(in_bad),
+                None if in_bad => {
+                    return Err(SnapError::Mismatch(
+                        "snapshot carries burst-loss state for a channel without a \
+                         burst process"
+                            .into(),
+                    ))
+                }
+                None => {}
+            }
+            ch.rng = r.read_rng()?;
+            ch.stats.busy = r.read_dur()?;
+            ch.stats.tx_packets = r.read_u64()?;
+            ch.stats.tx_bytes = r.read_u64()?;
+            ch.stats.drops = r.read_u64()?;
+            ch.stats.enqueued = r.read_u64()?;
+            r.read_section(|r| ch.discipline.load_state(r))?;
+        }
+        for ep in &mut self.endpoints {
+            r.read_section(|r| match ep {
+                Some(ep) => ep.load_state(r),
+                None => Ok(()),
+            })?;
+        }
+        r.finish()?;
+        snapcount::on_restore();
+        Ok(())
     }
 
     /// The endpoint object, for downcasting to its concrete type after a
@@ -2074,7 +2587,7 @@ mod watchdog_tests {
         w.start_at(ep, SimTime::ZERO);
         let cfg = WatchdogConfig {
             progress_window: SimDuration::from_secs(5),
-            max_events: None,
+            ..WatchdogConfig::default()
         };
         let outcome = w.run_until_quiescent(SimTime::from_secs(1000), &cfg);
         let report = outcome.stall().expect("must stall");
@@ -2093,5 +2606,271 @@ mod watchdog_tests {
         w.start_at(ep, SimTime::ZERO);
         let outcome = w.run_until_quiescent(SimTime::from_secs(3), &WatchdogConfig::default());
         assert!(matches!(outcome, RunOutcome::TimeBound));
+    }
+
+    /// A deadlock verdict with a configured post-mortem directory dumps a
+    /// restorable snapshot of the stalled world and names it in the
+    /// report.
+    #[test]
+    fn stall_verdict_writes_post_mortem_snapshot() {
+        let build = || {
+            let (mut w, h0, h1) = two_host_world();
+            let ep = w.attach(h0, h1, ConnId(0), Box::new(Inert));
+            w.start_at(ep, SimTime::ZERO);
+            w
+        };
+        let dir = std::env::temp_dir().join(format!("td-postmortem-test-{}", std::process::id()));
+        let cfg = WatchdogConfig {
+            post_mortem_dir: Some(dir.clone()),
+            ..WatchdogConfig::default()
+        };
+        let mut w = build();
+        let outcome = w.run_until_quiescent(SimTime::from_secs(10), &cfg);
+        let report = outcome.stall().expect("Inert must deadlock");
+        assert_eq!(report.kind, StallKind::Deadlock);
+        let path = report.post_mortem.clone().expect("post-mortem written");
+        assert!(path.starts_with(&dir));
+        assert!(report.render().contains("post-mortem snapshot"));
+        let snap = Snapshot::read_from_file(&path).expect("snapshot file readable");
+        let mut fresh = build();
+        fresh
+            .restore(&snap)
+            .expect("post-mortem restores onto a twin");
+        assert_eq!(fresh.now(), w.now());
+        assert_eq!(fresh.events_dispatched(), w.events_dispatched());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::tests::{Acker, Blaster};
+    use super::*;
+    use crate::discipline::{DropTail, Red};
+    use crate::fault::GilbertElliott;
+
+    /// Sends one data packet per timer tick; carries a live [`TimerHandle`]
+    /// across snapshots, exercising the endpoint save/load hooks.
+    struct Ticker {
+        interval: SimDuration,
+        remaining: u64,
+        acks: u64,
+        pending: Option<TimerHandle>,
+    }
+
+    impl Endpoint for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.pending = Some(ctx.set_timer(self.interval, 1));
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+            if pkt.is_ack() {
+                self.acks += 1;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            assert_eq!(token, 1);
+            self.pending = None;
+            if self.remaining == 0 {
+                return;
+            }
+            ctx.send(PacketKind::Data, self.remaining, 500, false);
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                self.pending = Some(ctx.set_timer(self.interval, 1));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn save_state(&self, w: &mut SnapWriter) {
+            w.write_u64(self.remaining);
+            w.write_u64(self.acks);
+            match &self.pending {
+                Some(h) => {
+                    w.write_bool(true);
+                    h.save_state(w);
+                }
+                None => w.write_bool(false),
+            }
+        }
+        fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+            self.remaining = r.read_u64()?;
+            self.acks = r.read_u64()?;
+            self.pending = if r.read_bool()? {
+                Some(TimerHandle::load_state(r)?)
+            } else {
+                None
+            };
+            Ok(())
+        }
+    }
+
+    /// A world exercising every snapshotted subsystem at once: RED's
+    /// average-queue estimator and the shared RNG (early drops), a
+    /// capacity-limited buffer (overflow drops), a Gilbert–Elliott burst
+    /// process on the reverse channel (private fault RNG + Markov state),
+    /// pending timers, and two endpoints' worth of protocol state.
+    fn busy_world(seed: u64) -> World {
+        let mut w = World::new(seed);
+        let h0 = w.add_host("H0", SimDuration::from_micros(100));
+        let h1 = w.add_host("H1", SimDuration::from_micros(100));
+        let _fwd = w.add_channel(
+            h0,
+            h1,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            Some(5),
+            Box::new(Red::default()),
+            FaultModel::NONE,
+        );
+        let rev = w.add_channel(
+            h1,
+            h0,
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None,
+            Box::new(DropTail::new()),
+            FaultModel::NONE,
+        );
+        w.set_fault_plan(
+            rev,
+            FaultPlan::with_burst(GilbertElliott::new(0.2, 0.5, 0.8).unwrap()),
+        )
+        .unwrap();
+        let ticker = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Ticker {
+                interval: SimDuration::from_millis(50),
+                remaining: 30,
+                acks: 0,
+                pending: None,
+            }),
+        );
+        let blaster = w.attach(
+            h0,
+            h1,
+            ConnId(1),
+            Box::new(Blaster {
+                n: 30,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let ack0 = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        let ack1 = w.attach(h1, h0, ConnId(1), Box::new(Acker { data_seen: 0 }));
+        for ep in [ticker, blaster, ack0, ack1] {
+            w.start_at(ep, SimTime::ZERO);
+        }
+        w
+    }
+
+    const T_MID: SimTime = SimTime::from_secs(2);
+    const T_END: SimTime = SimTime::from_secs(120);
+
+    #[test]
+    fn restored_run_is_identical_to_uninterrupted() {
+        // Reference: run straight through.
+        let mut a = busy_world(42);
+        a.run_until(T_MID);
+        let t_snap = a.now();
+        let snap = a.snapshot();
+        a.run_until(T_END);
+
+        // Restore onto a freshly built world and continue.
+        let mut b = busy_world(42);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.now(), t_snap, "clock must resume at the capture point");
+        b.run_until(T_END);
+
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.events_dispatched(), b.events_dispatched());
+        assert_eq!(a.trace().records(), b.trace().records(), "trace diverged");
+        assert_eq!(a.audit().injected(), b.audit().injected());
+        assert_eq!(a.audit().delivered(), b.audit().delivered());
+        assert_eq!(a.audit().dropped(), b.audit().dropped());
+        assert_eq!(a.audit().total_violations(), b.audit().total_violations());
+        for ch in [ChannelId(0), ChannelId(1)] {
+            let (sa, sb) = (a.channel_stats(ch), b.channel_stats(ch));
+            assert_eq!(sa.tx_packets, sb.tx_packets);
+            assert_eq!(sa.tx_bytes, sb.tx_bytes);
+            assert_eq!(sa.drops, sb.drops);
+            assert_eq!(sa.enqueued, sb.enqueued);
+            assert_eq!(sa.busy, sb.busy);
+        }
+        // Final protocol state matches too.
+        let ta = a.endpoint(EndpointId(0)).unwrap().as_any();
+        let tb = b.endpoint(EndpointId(0)).unwrap().as_any();
+        let (ta, tb) = (
+            ta.downcast_ref::<Ticker>().unwrap(),
+            tb.downcast_ref::<Ticker>().unwrap(),
+        );
+        assert_eq!(ta.acks, tb.acks);
+        assert_eq!(ta.remaining, tb.remaining);
+    }
+
+    #[test]
+    fn snapshot_of_restored_world_is_byte_identical() {
+        let mut a = busy_world(9);
+        a.run_until(T_MID);
+        let snap = a.snapshot();
+        let mut b = busy_world(9);
+        b.restore(&snap).unwrap();
+        assert_eq!(
+            snap.as_bytes(),
+            b.snapshot().as_bytes(),
+            "restore must reproduce every captured field exactly"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_world() {
+        let mut a = busy_world(1);
+        a.run_until(T_MID);
+        let snap = a.snapshot();
+        // Wrong seed.
+        let err = busy_world(2).restore(&snap).unwrap_err();
+        assert!(matches!(err, SnapError::Mismatch(_)), "got {err:?}");
+        // Wrong topology (extra host).
+        let mut w = busy_world(1);
+        w.add_host("extra", SimDuration::ZERO);
+        let err = w.restore(&snap).unwrap_err();
+        assert!(matches!(err, SnapError::Mismatch(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn snapshot_header_is_validated() {
+        let mut a = busy_world(3);
+        a.run_until(T_MID);
+        let bytes = a.snapshot().bytes;
+        assert!(matches!(
+            Snapshot::from_bytes(b"XXXX0000rest".to_vec()),
+            Err(SnapError::BadMagic)
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(wrong_version),
+            Err(SnapError::UnsupportedVersion(99))
+        ));
+        // Truncation anywhere in the payload surfaces as an error, never
+        // a half-restored world that silently diverges.
+        let truncated = Snapshot::from_bytes(bytes[..bytes.len() / 2].to_vec()).unwrap();
+        assert!(busy_world(3).restore(&truncated).is_err());
+    }
+
+    #[test]
+    fn snapshot_files_roundtrip_atomically() {
+        let dir = std::env::temp_dir().join(format!("td-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid.tdsnap");
+        let mut a = busy_world(7);
+        a.run_until(T_MID);
+        let snap = a.snapshot();
+        snap.write_to_file(&path).unwrap();
+        let back = Snapshot::read_from_file(&path).unwrap();
+        assert_eq!(snap.as_bytes(), back.as_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
