@@ -92,7 +92,11 @@ impl SvgPlot {
                     .fold(1.0_f64, f64::max)
             })
             .max(1e-9);
-        let sx = move |x: f64| ML + (x - x0) / (x1 - x0) * pw;
+        // `t1 > t0` is asserted in nanoseconds, but at extreme clock
+        // values the f64 seconds can still collapse to an equal pair —
+        // floor the span like ymax so coordinates stay finite.
+        let xspan = (x1 - x0).max(1e-9);
+        let sx = move |x: f64| ML + (x - x0) / xspan * pw;
         let sy = move |y: f64| MT + ph - (y / ymax).min(1.0) * ph;
 
         let mut out = String::new();

@@ -75,7 +75,7 @@ impl CcKind {
 ///   covers);
 /// * duplicate ACK → [`CongestionControl::on_dupack`];
 /// * loss detected → [`CongestionControl::on_loss`].
-pub trait CongestionControl {
+pub trait CongestionControl: Send {
     /// Usable window right now: `⌊min(cwnd, maxwnd)⌋`, in packets.
     fn window(&self) -> u64;
 

@@ -1,0 +1,103 @@
+//! Shard-count invariance with the real TCP machines.
+//!
+//! The in-crate `td-net` tests prove the sharded executor deterministic
+//! with synthetic endpoints; this suite re-proves it with `TcpSender` /
+//! `TcpReceiver` — the endpoints that actually serialize live
+//! [`td_net::TimerHandle`]s (the armed RTO), so a mid-flight snapshot
+//! exercises the timer-handle ↔ pending-event-index translation that the
+//! shard-count-invariant `TDSW` format depends on.
+
+use td_core::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+use td_engine::{Rate, SimDuration, SimTime};
+use td_net::{ConnId, DisciplineKind, FaultModel, ShardedWorld, World};
+
+/// Two-way traffic over a congested trunk: host/switch cluster per side,
+/// 20-packet drop-tail queues, paper-style TCP both directions. The small
+/// trunk rate forces queue growth, drops, retransmissions, and live RTO
+/// timers — the full state surface of the protocol.
+fn two_way_trunk(w: &mut World) {
+    let h = SimDuration::from_micros(100);
+    let a = w.add_host("A", h);
+    let sa = w.add_switch("SA");
+    let b = w.add_host("B", h);
+    let sb = w.add_switch("SB");
+    for (x, y) in [(a, sa), (b, sb)] {
+        for (src, dst) in [(x, y), (y, x)] {
+            w.add_channel(
+                src,
+                dst,
+                Rate::from_kbps(1000),
+                SimDuration::from_micros(100),
+                Some(20),
+                DisciplineKind::DropTail.build(),
+                FaultModel::NONE,
+            );
+        }
+    }
+    for (src, dst) in [(sa, sb), (sb, sa)] {
+        w.add_channel(
+            src,
+            dst,
+            Rate::from_kbps(200),
+            SimDuration::from_millis(5),
+            Some(20),
+            DisciplineKind::DropTail.build(),
+            FaultModel::NONE,
+        );
+    }
+    w.compute_routes();
+    let s0 = w.attach(a, b, ConnId(0), TcpSender::boxed(SenderConfig::paper()));
+    w.attach(b, a, ConnId(0), TcpReceiver::boxed(ReceiverConfig::paper()));
+    let s1 = w.attach(b, a, ConnId(1), TcpSender::boxed(SenderConfig::paper()));
+    w.attach(a, b, ConnId(1), TcpReceiver::boxed(ReceiverConfig::paper()));
+    w.start_at(s0, SimTime::from_millis(1));
+    w.start_at(s1, SimTime::from_millis(7));
+}
+
+#[test]
+fn tcp_two_way_traffic_is_shard_invariant() {
+    let t_end = SimTime::from_millis(1500);
+    let mut base = ShardedWorld::build(91, 1, two_way_trunk);
+    base.run_until(t_end);
+    let base_snap = base.snapshot();
+    assert!(base.audit().delivered() > 100, "workload barely ran");
+    assert_eq!(base.audit().total_violations(), 0);
+    for shards in [2, 4] {
+        let mut other = ShardedWorld::build(91, shards, two_way_trunk);
+        other.run_until(t_end);
+        assert_eq!(
+            base.trace().records(),
+            other.trace().records(),
+            "TCP trace differs at {shards} shards"
+        );
+        assert_eq!(
+            base_snap.as_bytes(),
+            other.snapshot().as_bytes(),
+            "TCP snapshot differs at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn tcp_snapshot_resumes_across_shard_counts() {
+    // Snapshot mid-flight — with cwnd open, queues loaded, and RTO timers
+    // armed — then resume at a different shard count and compare against
+    // the uninterrupted run.
+    let t_mid = SimTime::from_millis(700);
+    let t_end = SimTime::from_millis(1500);
+    let mut origin = ShardedWorld::build(91, 2, two_way_trunk);
+    origin.run_until(t_mid);
+    let mid = origin.snapshot();
+    origin.run_until(t_end);
+    let straight = origin.snapshot();
+    for shards in [1, 4] {
+        let mut resumed = ShardedWorld::build(91, shards, two_way_trunk);
+        resumed.restore(&mid).expect("mid-flight restore");
+        resumed.run_until(t_end);
+        assert_eq!(
+            straight.as_bytes(),
+            resumed.snapshot().as_bytes(),
+            "resume at {shards} shards diverged"
+        );
+    }
+}

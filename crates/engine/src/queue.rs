@@ -78,6 +78,12 @@ struct Slot<E> {
     heap_pos: u32,
     /// Absolute due time of the current occupant.
     at: SimTime,
+    /// Caller-supplied tie key, ordered before `seq` among same-time
+    /// events. [`EventQueue::schedule_at`] always uses 0, preserving pure
+    /// scheduling-order ties; [`EventQueue::schedule_keyed`] lets a caller
+    /// impose a content-derived order that is independent of *when* the
+    /// event was scheduled — the property sharded simulation needs.
+    key: u64,
     /// Monotone schedule counter of the current occupant (tie-breaker).
     seq: u64,
     event: Option<E>,
@@ -184,11 +190,11 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// `(at, seq)` sort key of the slot at heap position `pos`.
+    /// `(at, key, seq)` sort key of the slot at heap position `pos`.
     #[inline]
-    fn key(&self, pos: usize) -> (SimTime, u64) {
+    fn key(&self, pos: usize) -> (SimTime, u64, u64) {
         let s = &self.slots[self.heap[pos] as usize];
-        (s.at, s.seq)
+        (s.at, s.key, s.seq)
     }
 
     #[inline]
@@ -270,11 +276,27 @@ impl<E> EventQueue<E> {
         ev
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
+    /// Schedule `event` to fire at absolute time `at`. Same-time events
+    /// fire in scheduling order (tie key 0 for every event on this path,
+    /// byte-for-byte the order the pre-key queue produced).
     ///
     /// # Panics
     /// Panics if `at` is before [`EventQueue::now`].
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        self.schedule_keyed(at, 0, event)
+    }
+
+    /// Schedule `event` to fire at absolute time `at` with an explicit
+    /// tie `key`: same-time events order by `(key, scheduling order)`.
+    /// A caller that derives keys from event *content* (and keeps them
+    /// unique among simultaneous events) gets a dispatch order that no
+    /// longer depends on scheduling interleaving — which is what lets a
+    /// sharded simulation reproduce one canonical order for any shard
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `at` is before [`EventQueue::now`].
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) -> EventId {
         assert!(
             at >= self.now,
             "cannot schedule into the past: at={at:?} now={:?}",
@@ -286,6 +308,7 @@ impl<E> EventQueue<E> {
             Some(slot) => {
                 let s = &mut self.slots[slot as usize];
                 s.at = at;
+                s.key = key;
                 s.seq = seq;
                 s.event = Some(event);
                 slot
@@ -297,6 +320,7 @@ impl<E> EventQueue<E> {
                     gen: 0,
                     heap_pos: NOT_IN_HEAP,
                     at,
+                    key,
                     seq,
                     event: Some(event),
                 });
@@ -382,6 +406,87 @@ impl<E> EventQueue<E> {
         self.heap.first().map(|&s| self.slots[s as usize].at)
     }
 
+    /// Advance the clock to `t` without popping anything — a bounded run
+    /// ends "at" its bound even when the last event fired earlier, and a
+    /// sharded run must leave every shard's clock at the same instant.
+    ///
+    /// # Panics
+    /// Panics if `t` is before [`EventQueue::now`] (the clock never
+    /// rewinds).
+    pub fn advance_clock(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "cannot rewind the clock: t={t:?} now={:?}",
+            self.now
+        );
+        self.now = t;
+    }
+
+    /// Remove *every* pending event, returning them as
+    /// `(at, key, event)` sorted by `(at, key, seq)` — the exact order
+    /// they would have popped in. The clock, dispatch count, and schedule
+    /// count are untouched; the slab and free list reset to empty.
+    ///
+    /// This is the shard-construction primitive: a shard builds the full
+    /// world (so ids line up globally), then drains the queue and
+    /// re-schedules only the events it owns.
+    pub fn drain_pending(&mut self) -> Vec<(SimTime, u64, E)> {
+        let mut out: Vec<(SimTime, u64, u64, E)> = Vec::with_capacity(self.heap.len());
+        for slot in std::mem::take(&mut self.heap) {
+            let s = &mut self.slots[slot as usize];
+            // Retire like `cancel`: generations bump so any outstanding
+            // handle to a drained event goes stale instead of aliasing.
+            s.gen += 1;
+            s.heap_pos = NOT_IN_HEAP;
+            let ev = s.event.take().expect("heap entry points at vacant slot");
+            out.push((s.at, s.key, s.seq, ev));
+            self.free.push(slot);
+        }
+        out.sort_by_key(|&(at, key, seq, _)| (at, key, seq));
+        out.into_iter()
+            .map(|(at, key, _, e)| (at, key, e))
+            .collect()
+    }
+
+    /// Borrow every pending event as `(at, key, &event)`, sorted by
+    /// `(at, key, seq)` — pop order. Non-destructive; used to serialize a
+    /// canonical (shard-count-independent) picture of the pending set.
+    pub fn pending(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut refs: Vec<(SimTime, u64, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|&slot| {
+                let s = &self.slots[slot as usize];
+                let ev = s.event.as_ref().expect("heap entry points at vacant slot");
+                (s.at, s.key, s.seq, ev)
+            })
+            .collect();
+        refs.sort_by_key(|&(at, key, seq, _)| (at, key, seq));
+        refs.into_iter()
+            .map(|(at, key, _, e)| (at, key, e))
+            .collect()
+    }
+
+    /// Like [`EventQueue::pending`], but also yields each event's live
+    /// [`EventId`] so callers can correlate pending entries with handles
+    /// held elsewhere (e.g. endpoint timer handles during a canonical
+    /// snapshot).
+    pub fn pending_entries(&self) -> Vec<(SimTime, u64, EventId, &E)> {
+        let mut refs: Vec<(SimTime, u64, u64, EventId, &E)> = self
+            .heap
+            .iter()
+            .map(|&slot| {
+                let s = &self.slots[slot as usize];
+                let ev = s.event.as_ref().expect("heap entry points at vacant slot");
+                (s.at, s.key, s.seq, EventId::from_raw(slot, s.gen), ev)
+            })
+            .collect();
+        refs.sort_by_key(|&(at, key, seq, _, _)| (at, key, seq));
+        refs.into_iter()
+            .map(|(at, key, _, id, e)| (at, key, id, e))
+            .collect()
+    }
+
     /// Serialize the queue's complete state — slab (including vacant
     /// slots and their generations), heap order, free list, clock, and
     /// counters — encoding each pending event with `enc`.
@@ -400,6 +505,7 @@ impl<E> EventQueue<E> {
             w.write_u64(s.gen);
             w.write_u32(s.heap_pos);
             w.write_time(s.at);
+            w.write_u64(s.key);
             w.write_u64(s.seq);
             match &s.event {
                 Some(e) => {
@@ -445,12 +551,14 @@ impl<E> EventQueue<E> {
             let gen = r.read_u64()?;
             let heap_pos = r.read_u32()?;
             let at = r.read_time()?;
+            let key = r.read_u64()?;
             let seq = r.read_u64()?;
             let event = if r.read_bool()? { Some(dec(r)?) } else { None };
             slots.push(Slot {
                 gen,
                 heap_pos,
                 at,
+                key,
                 seq,
                 event,
             });
@@ -552,6 +660,133 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_ties_order_by_key_then_seq() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        // Scrambled insertion order; keys impose the canonical order.
+        q.schedule_keyed(t, 3, "k3");
+        q.schedule_keyed(t, 1, "k1b");
+        q.schedule_keyed(t, 0, "k0");
+        q.schedule_keyed(t, 1, "k1a");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        // Same key falls back to insertion order (seq).
+        assert_eq!(order, vec!["k0", "k1b", "k1a", "k3"]);
+    }
+
+    #[test]
+    fn keyed_events_sort_before_later_times_regardless_of_key() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime::from_secs(2), 0, "later");
+        q.schedule_keyed(SimTime::from_secs(1), u64::MAX, "earlier");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["earlier", "later"]);
+    }
+
+    #[test]
+    fn drain_pending_returns_pop_order_and_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "first");
+        q.pop(); // advance the clock so `now` is nonzero
+        q.schedule_keyed(SimTime::from_secs(30), 2, "d");
+        q.schedule_keyed(SimTime::from_secs(20), 5, "b");
+        q.schedule_keyed(SimTime::from_secs(20), 5, "c"); // same (t, key): seq breaks tie
+        q.schedule_keyed(SimTime::from_secs(20), 1, "a");
+        let drained = q.drain_pending();
+        assert_eq!(
+            drained,
+            vec![
+                (SimTime::from_secs(20), 1, "a"),
+                (SimTime::from_secs(20), 5, "b"),
+                (SimTime::from_secs(20), 5, "c"),
+                (SimTime::from_secs(30), 2, "d"),
+            ]
+        );
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        assert_eq!(
+            q.now(),
+            SimTime::from_secs(10),
+            "drain must not move the clock"
+        );
+        // The slab is reusable after a drain.
+        q.schedule_at(SimTime::from_secs(40), "again");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(40), "again")));
+    }
+
+    #[test]
+    fn drain_pending_staleness_matches_cancel() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(SimTime::from_secs(1), "x");
+        q.drain_pending();
+        assert!(!q.cancel(id), "drained handle must be stale");
+        // Draining retires the slot, so the handle reports retired —
+        // identical to what `cancel` would have left behind.
+        assert!(q.has_fired(id));
+        // Reusing the slot must not resurrect the old handle.
+        let id2 = q.schedule_at(SimTime::from_secs(2), "y");
+        assert_eq!(id.slot, id2.slot, "slot not reused — test premise broken");
+        assert!(!q.cancel(id));
+        assert!(q.cancel(id2));
+    }
+
+    #[test]
+    fn pending_is_nondestructive_and_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime::from_secs(2), 7, "b");
+        q.schedule_keyed(SimTime::from_secs(1), 9, "a");
+        let view: Vec<_> = q
+            .pending()
+            .into_iter()
+            .map(|(t, k, e)| (t, k, *e))
+            .collect();
+        assert_eq!(
+            view,
+            vec![
+                (SimTime::from_secs(1), 9, "a"),
+                (SimTime::from_secs(2), 7, "b"),
+            ]
+        );
+        assert_eq!(q.len(), 2, "pending() must not consume events");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+    }
+
+    #[test]
+    fn advance_clock_moves_now_forward() {
+        let mut q = EventQueue::<()>::new();
+        q.advance_clock(SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        // Idempotent at the same time.
+        q.advance_clock(SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn advance_clock_rejects_rewind() {
+        let mut q = EventQueue::<()>::new();
+        q.advance_clock(SimTime::from_secs(5));
+        q.advance_clock(SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn keyed_snapshot_roundtrip_preserves_order() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime::from_secs(1), 5, 50u32);
+        q.schedule_keyed(SimTime::from_secs(1), 2, 20u32);
+        q.schedule_at(SimTime::from_secs(1), 99u32);
+        let mut w = crate::snap::SnapWriter::new();
+        q.save_state(&mut w, |e, w| w.write_u32(*e));
+        let bytes = w.into_bytes();
+        let mut restored: EventQueue<u32> =
+            EventQueue::load_state(&mut crate::snap::SnapReader::new(&bytes), |r| r.read_u32())
+                .unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| restored.pop())
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(order, vec![99, 20, 50]);
     }
 
     #[test]

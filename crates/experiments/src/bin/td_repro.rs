@@ -101,6 +101,7 @@ struct Args {
     seed: u64,
     seeds: u64,
     jobs: usize,
+    shards: u32,
     profile: Profile,
     out: Option<PathBuf>,
     timings: Option<PathBuf>,
@@ -112,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 1;
     let mut seeds = 1;
     let mut jobs = default_jobs();
+    let mut shards = 1;
     let mut profile = Profile::Quick;
     let mut out = None;
     let mut timings = None;
@@ -145,6 +147,13 @@ fn parse_args() -> Result<Args, String> {
                 jobs = v.parse().map_err(|_| format!("bad job count: {v}"))?;
                 if jobs == 0 {
                     return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--shards" => {
+                let v = argv.next().ok_or("--shards needs a count")?;
+                shards = v.parse().map_err(|_| format!("bad shard count: {v}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
                 }
             }
             "--out" => {
@@ -183,6 +192,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         seeds,
         jobs,
+        shards,
         profile,
         out,
         timings,
@@ -213,6 +223,8 @@ fn usage() {
         "                   in-experiment sweep slots (default: cores = {})",
         default_jobs()
     );
+    println!("  --shards N       worker shards for shard-aware experiments (e.g. scale);");
+    println!("                   results are byte-identical for every N (default 1)");
     println!("  --out DIR        also write CSV data, a markdown summary, timings.json,");
     println!("                   and an fsynced results journal (journal.tdj)");
     println!("  --timings FILE   write the timings/observability report to FILE");
@@ -229,6 +241,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    td_experiments::set_shards(args.shards);
     if args.resume.is_none() && (args.ids.is_empty() || args.ids.iter().any(|i| i == "help")) {
         usage();
         return ExitCode::SUCCESS;

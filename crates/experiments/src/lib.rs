@@ -29,6 +29,7 @@ pub mod reno;
 pub mod report;
 pub mod rtt_spread;
 pub mod runner;
+pub mod scale;
 pub mod scenario;
 pub mod short_flows;
 pub mod simcli;
@@ -36,3 +37,28 @@ pub mod sweep;
 
 pub use report::{Report, Row};
 pub use scenario::{ConnSpec, Run, Scenario, ACK_SERVICE, DATA_SERVICE};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Worker-shard count for shard-aware experiments (`--shards N`),
+/// defaulting to one shard. A process-wide setting rather than a
+/// per-experiment parameter so the registry's uniform
+/// `fn(seed, profile)` runner signature — which the resumable-sweep
+/// journal format depends on — stays unchanged. Results are
+/// byte-identical for every value; only wall-clock changes.
+static SHARDS: AtomicU32 = AtomicU32::new(1);
+
+/// Set the shard count used by shard-aware experiments.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn set_shards(n: u32) {
+    assert!(n >= 1, "--shards must be at least 1");
+    SHARDS.store(n, Ordering::SeqCst);
+}
+
+/// The configured shard count (see [`set_shards`]).
+pub fn shards() -> u32 {
+    SHARDS.load(Ordering::SeqCst)
+}

@@ -96,6 +96,11 @@ pub fn registry() -> Vec<Entry> {
             runner: |seed, p| crate::multihop::report(seed, secs(p, 300, 800)),
         },
         Entry {
+            id: "scale",
+            about: "Cluster chain of Sec. 5 units, 10k+ connections full (sharded)",
+            runner: crate::scale::report,
+        },
+        Entry {
             id: "decbit",
             about: "DECbit AIMD under two-way traffic (Sec. 5 / OSI testbed)",
             runner: |seed, p| crate::decbit::report(seed, secs(p, 400, 1000)),

@@ -1,0 +1,310 @@
+//! Cluster-chain scale-out of the §5 four-switch topology (`scale`).
+//!
+//! The paper's generality check (§5 / \[19\]) ran four switches and 50
+//! connections. This experiment grows that unit into a *chain of
+//! clusters*: each cluster is the full four-switch topology with its own
+//! 1–3-hop traffic pattern, and consecutive clusters are joined by a
+//! long-haul trunk whose propagation delay — a prime 10 000 007 ns, so it
+//! can never alias the paper's round 10 ms intra-cluster delays — is what
+//! the shard partitioner cuts. A slice of connections crosses each
+//! long-haul trunk, so the cut carries real two-way TCP traffic rather
+//! than being decorative.
+//!
+//! The full profile runs 10 000+ connections; the quick profile is a
+//! two-cluster miniature. Both honor the process-wide
+//! [`crate::shards`] setting (`--shards N` on `td-repro` / `td-sim`) and
+//! produce **byte-identical reports for every shard count** — the CI
+//! determinism job diffs `--shards 2` against serial output. Every
+//! rendered row is a pure function of `(seed, profile)`: audit counters,
+//! trace-derived series, and an FNV-1a hash over the canonical trace
+//! encoding. Wall-clock, shard count, and core count appear nowhere.
+
+use std::cell::RefCell;
+
+use crate::registry::Profile;
+use crate::report::Report;
+use crate::scenario::DATA_SERVICE;
+use td_analysis::{compression, queue_series, utilization_in};
+use td_core::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+use td_engine::{Rate, SimDuration, SimRng, SimTime};
+use td_net::{
+    ChannelId, ConnId, DisciplineKind, FaultModel, LinkSpec, NodeId, ShardedWorld, World,
+};
+
+/// Propagation delay of the long-haul trunks joining clusters: prime, so
+/// no event-time arithmetic can alias it onto the 10 ms paper delays,
+/// and large, so it is always the delay class the partitioner cuts.
+pub const LONG_HAUL_DELAY: SimDuration = SimDuration::from_nanos(10_000_007);
+
+/// Topology and traffic dimensions of one scale run.
+#[derive(Clone, Copy)]
+pub struct ScaleParams {
+    /// Number of four-switch clusters in the chain.
+    pub clusters: usize,
+    /// Intra-cluster connections per cluster (1–3 hop paths, as in §5).
+    pub conns_per_cluster: u32,
+    /// Connections crossing each long-haul trunk (two-way: alternating
+    /// directions).
+    pub inter_conns: u32,
+    /// Simulated duration, seconds.
+    pub duration_s: u64,
+    /// Whether to record the packet trace (off at full scale: the trace
+    /// would dwarf the simulation itself).
+    pub trace: bool,
+}
+
+impl ScaleParams {
+    /// Dimensions for the given profile. Full: 64 clusters × 156
+    /// intra-cluster plus 63 × 4 inter-cluster connections = 10 236 —
+    /// past the 10k mark.
+    pub fn for_profile(p: Profile) -> ScaleParams {
+        match p {
+            Profile::Quick => ScaleParams {
+                clusters: 2,
+                conns_per_cluster: 24,
+                inter_conns: 4,
+                duration_s: 30,
+                trace: true,
+            },
+            Profile::Full => ScaleParams {
+                clusters: 64,
+                conns_per_cluster: 156,
+                inter_conns: 4,
+                duration_s: 60,
+                trace: false,
+            },
+        }
+    }
+
+    /// Total connection count.
+    pub fn total_conns(&self) -> u64 {
+        self.clusters as u64 * u64::from(self.conns_per_cluster)
+            + (self.clusters as u64 - 1) * u64::from(self.inter_conns)
+    }
+}
+
+/// Channel ids the report reads, captured while building.
+pub struct ScaleMap {
+    /// Middle intra-cluster trunk of cluster 0, forward direction.
+    pub probe_trunk: ChannelId,
+    /// First long-haul trunk (cluster 0 → 1), forward direction
+    /// (`None` for a single-cluster chain).
+    pub long_haul: Option<ChannelId>,
+}
+
+/// Build the cluster chain into `w` and attach all connections. Pure
+/// function of `(seed, params)` — called once per shard replica by
+/// [`ShardedWorld::build`], so it must stay deterministic.
+pub fn build_chain(w: &mut World, seed: u64, p: &ScaleParams) -> ScaleMap {
+    let host_link = LinkSpec::paper_host_link();
+    let trunk = LinkSpec::paper_bottleneck(SimDuration::from_millis(10), Some(30));
+    let long_haul = LinkSpec {
+        rate: Rate::from_kbps(200),
+        delay: LONG_HAUL_DELAY,
+        capacity: Some(50),
+        discipline: DisciplineKind::DropTail,
+        fault: FaultModel::NONE,
+    };
+
+    let mut hosts: Vec<[NodeId; 4]> = Vec::with_capacity(p.clusters);
+    let mut probe_trunk = None;
+    let mut long_haul_ch = None;
+    let mut prev_tail: Option<NodeId> = None;
+    for c in 0..p.clusters {
+        let mut sw = [NodeId(0); 4];
+        let mut hs = [NodeId(0); 4];
+        for j in 0..4 {
+            sw[j] = w.add_switch(&format!("c{c}s{j}"));
+            hs[j] = w.add_host(&format!("c{c}h{j}"), SimDuration::from_micros(100));
+            host_link.add_between(w, hs[j], sw[j]);
+        }
+        for j in 0..3 {
+            let (right, _) = trunk.add_between(w, sw[j], sw[j + 1]);
+            if c == 0 && j == 1 {
+                probe_trunk = Some(right);
+            }
+        }
+        if let Some(tail) = prev_tail {
+            let (right, _) = long_haul.add_between(w, tail, sw[0]);
+            if long_haul_ch.is_none() {
+                long_haul_ch = Some(right);
+            }
+        }
+        prev_tail = Some(sw[3]);
+        hosts.push(hs);
+    }
+    w.compute_routes();
+
+    // Traffic. Start times are jittered from a seed-derived stream that is
+    // independent of the world RNG, so attachment stays shard-invariant.
+    let mut rng = SimRng::new(seed).derive(0x5CA1_E000);
+    let mut next_conn = 0u32;
+    let mut attach_pair = |w: &mut World, src: NodeId, dst: NodeId, rng: &mut SimRng| {
+        let conn = ConnId(next_conn);
+        next_conn += 1;
+        let s = w.attach(src, dst, conn, TcpSender::boxed(SenderConfig::paper()));
+        w.attach(dst, src, conn, TcpReceiver::boxed(ReceiverConfig::paper()));
+        w.start_at(s, SimTime::from_nanos(rng.next_below(1_000_000_000)));
+    };
+    for (c, hs) in hosts.iter().enumerate() {
+        for i in 0..p.conns_per_cluster {
+            let hops = 1 + (i as usize % 3);
+            let start = rng.next_below((4 - hops) as u64) as usize;
+            let (src, dst) = if i % 2 == 0 {
+                (hs[start], hs[start + hops])
+            } else {
+                (hs[start + hops], hs[start])
+            };
+            attach_pair(w, src, dst, &mut rng);
+        }
+        if c + 1 < p.clusters {
+            for i in 0..p.inter_conns {
+                // Tail host of this cluster ↔ head host of the next, in
+                // alternating directions: two-way traffic over the cut.
+                let (src, dst) = if i % 2 == 0 {
+                    (hs[3], hosts_head(&hosts, c + 1, p))
+                } else {
+                    (hosts_head(&hosts, c + 1, p), hs[3])
+                };
+                attach_pair(w, src, dst, &mut rng);
+            }
+        }
+    }
+
+    ScaleMap {
+        probe_trunk: probe_trunk.expect("cluster 0 has a middle trunk"),
+        long_haul: long_haul_ch,
+    }
+}
+
+/// Head host of cluster `c + 1`. The `hosts` vec is filled cluster by
+/// cluster, but host *node ids* are assigned during construction, so the
+/// next cluster's entry already exists by the time inter-cluster
+/// connections are attached — guarded here for clarity.
+fn hosts_head(hosts: &[[NodeId; 4]], next: usize, p: &ScaleParams) -> NodeId {
+    debug_assert!(next < p.clusters);
+    hosts[next][0]
+}
+
+/// FNV-1a over a byte stream — the workspace's stable golden-hash
+/// function.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Build and run the chain at the process-wide shard count, returning
+/// the finished sharded world and the probe channel map.
+pub fn run_chain(seed: u64, p: &ScaleParams) -> (ShardedWorld, ScaleMap, SimTime, SimTime) {
+    let map_cell: RefCell<Option<ScaleMap>> = RefCell::new(None);
+    let mut sw = ShardedWorld::build(seed, crate::shards(), |w| {
+        let m = build_chain(w, seed, p);
+        map_cell.borrow_mut().get_or_insert(m);
+    });
+    sw.set_trace_enabled(p.trace);
+    let t1 = SimTime::from_secs(p.duration_s);
+    sw.run_until(t1);
+    let map = map_cell.into_inner().expect("builder ran at least once");
+    let t0 = SimTime::from_secs(p.duration_s / 5);
+    (sw, map, t0, t1)
+}
+
+/// Run and evaluate the scale experiment.
+pub fn report(seed: u64, profile: Profile) -> Report {
+    let p = ScaleParams::for_profile(profile);
+    let (sw, map, t0, t1) = run_chain(seed, &p);
+    let mut rep = Report::new(
+        "tbl-scale",
+        "Cluster chain of §5 four-switch units (sharded executor)",
+        &format!(
+            "seed {seed}, {} clusters, {} connections, {} s simulated",
+            p.clusters,
+            p.total_conns(),
+            p.duration_s
+        ),
+    );
+
+    let audit = sw.audit();
+    rep.check(
+        "packets delivered",
+        "traffic flows at scale",
+        format!("{}", audit.delivered()),
+        audit.delivered() > 0,
+    );
+    rep.check(
+        "invariant violations",
+        "0",
+        format!("{}", audit.total_violations()),
+        audit.total_violations() == 0,
+    );
+    rep.info("packets injected", "-", format!("{}", audit.injected()));
+    rep.info("packets dropped", "-", format!("{}", audit.dropped()));
+    rep.info(
+        "events dispatched",
+        "-",
+        format!("{}", sw.events_dispatched()),
+    );
+    rep.metric("connections", p.total_conns() as f64);
+    rep.metric("delivered", audit.delivered() as f64);
+    rep.metric("dropped", audit.dropped() as f64);
+
+    if p.trace {
+        // §5's signature phenomenon survives inside a cluster.
+        let qs = queue_series(sw.trace(), map.probe_trunk);
+        let fl = compression::queue_fluctuation(&qs, t0, t1, DATA_SERVICE);
+        rep.check(
+            "cluster-0 middle-trunk queue fluctuation",
+            "rapid fluctuations (ACK compression, §5)",
+            format!("{fl:.0} packets per service time"),
+            fl >= 3.0,
+        );
+        if let Some(lh) = map.long_haul {
+            let u = utilization_in(sw.trace(), lh, t0, t1);
+            rep.check(
+                "first long-haul trunk utilization",
+                "cut carries real traffic",
+                format!("{u:.3}"),
+                u > 0.05,
+            );
+        }
+        // Golden hash over the canonical trace encoding: equal for every
+        // shard count, pinned by the shard-determinism CI job.
+        let h = fnv1a(
+            sw.trace()
+                .records()
+                .iter()
+                .flat_map(|r| r.t.as_nanos().to_le_bytes()),
+        );
+        rep.info("merged trace FNV-1a (times)", "-", format!("{h:#018x}"));
+    } else {
+        rep.diagnostic(format!(
+            "trace disabled at {} connections; audit counters above are the \
+             deterministic surface",
+            p.total_conns()
+        ));
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quick-profile report must not depend on the shard count —
+    /// this is the in-process version of the CI determinism diff.
+    #[test]
+    fn quick_report_is_shard_invariant() {
+        crate::set_shards(1);
+        let serial = report(5, Profile::Quick);
+        crate::set_shards(2);
+        let sharded = report(5, Profile::Quick);
+        crate::set_shards(1);
+        assert_eq!(serial.to_string(), sharded.to_string());
+        assert_eq!(serial.markdown_table(), sharded.markdown_table());
+        assert!(serial.all_ok(), "scale quick checks failed: {serial}");
+    }
+}

@@ -21,6 +21,11 @@ pub struct SimArgs {
     pub out: Option<std::path::PathBuf>,
     /// Write a pcap of the 1→2 bottleneck.
     pub pcap: bool,
+    /// Worker-shard count (`--shards N`, default 1). Fed into
+    /// [`crate::set_shards`]; the dumbbell itself is a single-bottleneck
+    /// topology and always executes serially, but the flag keeps the two
+    /// binaries' CLIs uniform for scripts that drive both.
+    pub shards: u32,
 }
 
 /// Parse a congestion-control name.
@@ -83,6 +88,7 @@ pub fn parse(args: &[String]) -> Result<SimArgs, String> {
     let mut mark: Option<u32> = None;
     let mut out = None;
     let mut pcap = false;
+    let mut shards: u32 = 1;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -111,6 +117,12 @@ pub fn parse(args: &[String]) -> Result<SimArgs, String> {
             "--paced" => pacing = true,
             "--pcap" => pcap = true,
             "--out" => out = Some(std::path::PathBuf::from(val("--out")?)),
+            "--shards" => {
+                shards = val("--shards")?.parse().map_err(|e| format!("{e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -157,6 +169,7 @@ pub fn parse(args: &[String]) -> Result<SimArgs, String> {
         scenario: sc,
         out,
         pcap,
+        shards,
     })
 }
 
@@ -186,7 +199,12 @@ pub fn usage() -> String {
      \n\
      output:\n\
      \x20 --out DIR         write CSV + SVG (+ pcap with --pcap)\n\
-     \x20 --pcap            capture the 1->2 bottleneck wire\n"
+     \x20 --pcap            capture the 1->2 bottleneck wire\n\
+     \n\
+     execution:\n\
+     \x20 --shards N        worker shards for shard-aware runs    [1]\n\
+     \x20                   (the dumbbell is single-bottleneck and runs\n\
+     \x20                   serially; results never depend on N)\n"
         .into()
 }
 

@@ -1,0 +1,114 @@
+//! Degenerate-input sentinel: no `NaN`/`inf` ever reaches a rendered
+//! output.
+//!
+//! The analysis crate guards every ratio against empty denominators
+//! (empty traces, zero drops, single-sample series), and each guard has
+//! a unit test next to it. This test is the belt to those suspenders: it
+//! drives the real `td-repro` binary — sharded, since `--shards 2`
+//! exercises the merged-telemetry path too — and token-scans stdout plus
+//! every text artifact (`.csv`, `.md`, `.json`, `.svg`) for a
+//! non-finite float that slipped through formatting. Rust's `Display`
+//! for `f64` writes exactly `NaN`, `inf`, and `-inf`, so a token match
+//! is a real leak, not a false positive on prose.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const EXE: &str = env!("CARGO_BIN_EXE_td-repro");
+
+/// True for artifacts a human (or a plotting tool) reads as text.
+fn is_text_artifact(name: &str) -> bool {
+    [".csv", ".md", ".json", ".svg", ".txt"]
+        .iter()
+        .any(|ext| name.ends_with(ext))
+}
+
+/// Find non-finite float tokens in a text blob: split on everything that
+/// cannot be part of a float literal and compare whole tokens, so
+/// "info"/"nanoseconds" in prose never match.
+fn non_finite_tokens(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_ascii_alphanumeric() && c != '-' && c != '.')
+        .filter(|tok| {
+            let t = tok.trim_start_matches('-');
+            t.eq_ignore_ascii_case("nan") || t.eq_ignore_ascii_case("inf")
+        })
+        .map(str::to_owned)
+        .collect()
+}
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("td-no-nan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn scan(label: &str, text: &str) {
+    let bad = non_finite_tokens(text);
+    assert!(
+        bad.is_empty(),
+        "non-finite float leaked into {label}: {bad:?}"
+    );
+}
+
+fn scan_dir(dir: &Path) -> usize {
+    let mut scanned = 0;
+    for entry in std::fs::read_dir(dir).expect("read output dir") {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !entry.file_type().unwrap().is_file() || !is_text_artifact(&name) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())
+            .unwrap_or_else(|e| panic!("{name} is not valid UTF-8: {e}"));
+        scan(&name, &text);
+        scanned += 1;
+    }
+    scanned
+}
+
+#[test]
+fn sweep_outputs_contain_no_non_finite_floats() {
+    let out_dir = tmp_dir();
+    // fig8 + short-flows are the golden-hash pair (trace-heavy analysis:
+    // clustering, epochs, compression); scale runs the sharded executor.
+    let out = Command::new(EXE)
+        .args([
+            "fig8",
+            "short-flows",
+            "scale",
+            "--seed",
+            "7",
+            "--shards",
+            "2",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn td-repro");
+    assert!(
+        out.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    scan("stdout", &String::from_utf8_lossy(&out.stdout));
+    let scanned = scan_dir(&out_dir);
+    assert!(
+        scanned >= 3,
+        "expected CSV/markdown/json artifacts to scan, found {scanned}"
+    );
+    let timings = out_dir.join("timings.json");
+    assert!(timings.exists(), "sweep wrote no timings.json");
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn non_finite_token_scanner_catches_leaks() {
+    // The sentinel must actually fire — on every spelling Rust's float
+    // formatting can produce — and stay quiet on prose lookalikes.
+    assert!(!non_finite_tokens("util,NaN\n").is_empty());
+    assert!(!non_finite_tokens("x: inf").is_empty());
+    assert!(!non_finite_tokens("y=-inf;").is_empty());
+    assert!(non_finite_tokens("info nanoseconds infinite NANO").is_empty());
+}

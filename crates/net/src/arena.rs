@@ -1,0 +1,237 @@
+//! Struct-of-arrays storage for the hot simulation state.
+//!
+//! The event loop touches channels and host receive paths millions of
+//! times per simulated second. Storing each channel as one boxed bundle
+//! (config + queue + stats + RNG) spreads a dispatch's working set across
+//! the heap; splitting the fields into parallel columns keeps the
+//! `Copy` configuration (rates, delays, capacities) densely packed and
+//! separates it from the mutable hot state (in-service slot, counters)
+//! and the cold boxed state (discipline, fault plan, private RNG).
+//!
+//! [`ChannelArena::get_mut`] hands back a [`ChannelMut`] view that reads
+//! like the old per-object struct at call sites: config fields by value,
+//! mutable state by reference. The borrow is per-column, so the world can
+//! hold a channel view while independently touching its own trace, audit,
+//! and queue fields.
+
+use crate::discipline::Discipline;
+use crate::fault::FaultPlan;
+use crate::packet::{NodeId, Packet};
+use crate::world::ChannelStats;
+use std::collections::VecDeque;
+use td_engine::{Rate, SimDuration, SimRng, SimTime};
+
+/// Column storage for every simplex channel in a world.
+pub(crate) struct ChannelArena {
+    // -- immutable configuration (Copy, densely packed) --
+    src: Vec<NodeId>,
+    dst: Vec<NodeId>,
+    rate: Vec<Rate>,
+    delay: Vec<SimDuration>,
+    capacity: Vec<Option<u32>>,
+    mark_threshold: Vec<Option<u32>>,
+    // -- hot mutable state --
+    in_service: Vec<Option<(Packet, SimTime)>>,
+    stats: Vec<ChannelStats>,
+    // -- cold / boxed state --
+    discipline: Vec<Box<dyn Discipline>>,
+    fault: Vec<FaultPlan>,
+    rng: Vec<SimRng>,
+}
+
+/// A mutable view of one channel, shaped like the old per-object struct:
+/// `Copy` config by value, state by `&mut`.
+pub(crate) struct ChannelMut<'a> {
+    pub rate: Rate,
+    pub delay: SimDuration,
+    pub capacity: Option<u32>,
+    pub mark_threshold: Option<u32>,
+    pub in_service: &'a mut Option<(Packet, SimTime)>,
+    pub stats: &'a mut ChannelStats,
+    pub discipline: &'a mut dyn Discipline,
+    pub fault: &'a mut FaultPlan,
+    pub rng: &'a mut SimRng,
+}
+
+impl ChannelMut<'_> {
+    /// Buffer occupancy: waiting packets plus the one in service.
+    pub fn occupancy(&self) -> u32 {
+        self.discipline.len() as u32 + self.in_service.is_some() as u32
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+impl ChannelArena {
+    pub fn new() -> Self {
+        ChannelArena {
+            src: Vec::new(),
+            dst: Vec::new(),
+            rate: Vec::new(),
+            delay: Vec::new(),
+            capacity: Vec::new(),
+            mark_threshold: Vec::new(),
+            in_service: Vec::new(),
+            stats: Vec::new(),
+            discipline: Vec::new(),
+            fault: Vec::new(),
+            rng: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Append a channel; returns its index.
+    pub fn push(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        rate: Rate,
+        delay: SimDuration,
+        capacity: Option<u32>,
+        discipline: Box<dyn Discipline>,
+        fault: FaultPlan,
+        rng: SimRng,
+    ) -> usize {
+        let i = self.len();
+        self.src.push(src);
+        self.dst.push(dst);
+        self.rate.push(rate);
+        self.delay.push(delay);
+        self.capacity.push(capacity);
+        self.mark_threshold.push(None);
+        self.in_service.push(None);
+        self.stats.push(ChannelStats::default());
+        self.discipline.push(discipline);
+        self.fault.push(fault);
+        self.rng.push(rng);
+        i
+    }
+
+    pub fn get_mut(&mut self, i: usize) -> ChannelMut<'_> {
+        ChannelMut {
+            rate: self.rate[i],
+            delay: self.delay[i],
+            capacity: self.capacity[i],
+            mark_threshold: self.mark_threshold[i],
+            in_service: &mut self.in_service[i],
+            stats: &mut self.stats[i],
+            discipline: self.discipline[i].as_mut(),
+            fault: &mut self.fault[i],
+            rng: &mut self.rng[i],
+        }
+    }
+
+    // -- column accessors (read paths that don't need a full view) --
+
+    pub fn src(&self, i: usize) -> NodeId {
+        self.src[i]
+    }
+    pub fn dst(&self, i: usize) -> NodeId {
+        self.dst[i]
+    }
+    pub fn delay(&self, i: usize) -> SimDuration {
+        self.delay[i]
+    }
+    pub fn stats(&self, i: usize) -> ChannelStats {
+        self.stats[i]
+    }
+    pub fn in_service(&self, i: usize) -> &Option<(Packet, SimTime)> {
+        &self.in_service[i]
+    }
+    pub fn discipline(&self, i: usize) -> &dyn Discipline {
+        self.discipline[i].as_ref()
+    }
+    pub fn discipline_mut(&mut self, i: usize) -> &mut dyn Discipline {
+        self.discipline[i].as_mut()
+    }
+    pub fn fault(&self, i: usize) -> &FaultPlan {
+        &self.fault[i]
+    }
+    pub fn set_fault(&mut self, i: usize, plan: FaultPlan) {
+        self.fault[i] = plan;
+    }
+    pub fn set_mark_threshold(&mut self, i: usize, threshold: Option<u32>) {
+        self.mark_threshold[i] = threshold;
+    }
+    pub fn rng(&self, i: usize) -> &SimRng {
+        &self.rng[i]
+    }
+    pub fn set_rng(&mut self, i: usize, rng: SimRng) {
+        self.rng[i] = rng;
+    }
+    pub fn set_in_service(&mut self, i: usize, v: Option<(Packet, SimTime)>) {
+        self.in_service[i] = v;
+    }
+    pub fn stats_mut(&mut self, i: usize) -> &mut ChannelStats {
+        &mut self.stats[i]
+    }
+    pub fn fault_mut(&mut self, i: usize) -> &mut FaultPlan {
+        &mut self.fault[i]
+    }
+
+    /// Buffer occupancy of channel `i` (waiting + in service).
+    pub fn occupancy(&self, i: usize) -> u32 {
+        self.discipline[i].len() as u32 + self.in_service[i].is_some() as u32
+    }
+}
+
+/// Column storage for the host receive path, indexed by `NodeId` with
+/// inert entries for switches (a switch never touches its row, and the
+/// uniform indexing keeps `NodeId → row` a plain array lookup).
+pub(crate) struct HostArena {
+    proc_delay: Vec<SimDuration>,
+    proc_busy: Vec<bool>,
+    proc_queue: Vec<VecDeque<Packet>>,
+    is_host: Vec<bool>,
+}
+
+impl HostArena {
+    pub fn new() -> Self {
+        HostArena {
+            proc_delay: Vec::new(),
+            proc_busy: Vec::new(),
+            proc_queue: Vec::new(),
+            is_host: Vec::new(),
+        }
+    }
+
+    pub fn push_host(&mut self, proc_delay: SimDuration) {
+        self.proc_delay.push(proc_delay);
+        self.proc_busy.push(false);
+        self.proc_queue.push(VecDeque::new());
+        self.is_host.push(true);
+    }
+
+    pub fn push_switch(&mut self) {
+        self.proc_delay.push(SimDuration::ZERO);
+        self.proc_busy.push(false);
+        self.proc_queue.push(VecDeque::new());
+        self.is_host.push(false);
+    }
+
+    pub fn is_host(&self, i: usize) -> bool {
+        self.is_host[i]
+    }
+    pub fn proc_delay(&self, i: usize) -> SimDuration {
+        self.proc_delay[i]
+    }
+    pub fn proc_busy(&self, i: usize) -> bool {
+        self.proc_busy[i]
+    }
+    pub fn set_proc_busy(&mut self, i: usize, busy: bool) {
+        self.proc_busy[i] = busy;
+    }
+    pub fn proc_queue(&self, i: usize) -> &VecDeque<Packet> {
+        &self.proc_queue[i]
+    }
+    pub fn proc_queue_mut(&mut self, i: usize) -> &mut VecDeque<Packet> {
+        &mut self.proc_queue[i]
+    }
+
+    /// Packets waiting in every host processing queue.
+    pub fn queued_packets(&self) -> u64 {
+        self.proc_queue.iter().map(|q| q.len() as u64).sum()
+    }
+}

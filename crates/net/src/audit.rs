@@ -82,7 +82,7 @@ impl AuditViolation {
 
 /// The per-world auditor state. Owned by [`crate::World`]; experiments
 /// read it back through [`crate::World::audit`].
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Audit {
     injected: u64,
     delivered: u64,
@@ -96,6 +96,12 @@ pub struct Audit {
     /// Conservation is flagged at most once: a broken counter would
     /// otherwise flood the record with one violation per delivery.
     conservation_flagged: bool,
+    /// This auditor covers one shard of a sharded run: packets crossing
+    /// shard borders are injected on one auditor and delivered on
+    /// another, so per-shard conservation checks are disabled. The
+    /// sharded executor checks conservation on the merged counters
+    /// instead. Structural (set before running), so not serialized.
+    distributed: bool,
 }
 
 impl Audit {
@@ -128,7 +134,10 @@ impl Audit {
     /// inequality: accounted packets can never exceed injected ones.
     pub(crate) fn on_deliver(&mut self, t: SimTime) {
         self.delivered += 1;
-        if !self.conservation_flagged && self.delivered + self.dropped > self.injected {
+        if !self.distributed
+            && !self.conservation_flagged
+            && self.delivered + self.dropped > self.injected
+        {
             self.conservation_flagged = true;
             self.record(
                 t,
@@ -222,6 +231,9 @@ impl Audit {
     /// `in_network` the packets still buffered in channels and host
     /// processing queues.
     pub(crate) fn on_quiescent(&mut self, t: SimTime, in_network: u64) {
+        if self.distributed {
+            return;
+        }
         if self.delivered + self.dropped + in_network != self.injected {
             self.record(
                 t,
@@ -240,6 +252,71 @@ impl Audit {
     /// integer part is clamped.
     pub(crate) fn set_window_bound(&mut self, conn: ConnId, maxwnd: f64) {
         self.window_bounds.insert(conn, maxwnd);
+    }
+
+    /// Switch this auditor into distributed (per-shard) mode; see the
+    /// `distributed` field.
+    pub(crate) fn set_distributed(&mut self) {
+        self.distributed = true;
+    }
+
+    /// Fold one shard's auditor into this (merged) one: counters add,
+    /// ACK high-water marks union by max, window bounds union, recorded
+    /// violations concatenate (canonicalized by
+    /// [`Audit::finalize_merge`]). Direct field arithmetic, never
+    /// [`Audit::record`]: the shard already mirrored its violations into
+    /// the thread tally when they happened.
+    pub(crate) fn merge_from(&mut self, other: &Audit) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        for (&key, &seq) in &other.last_ack {
+            let e = self.last_ack.entry(key).or_insert(seq);
+            *e = (*e).max(seq);
+        }
+        for (&conn, &bound) in &other.window_bounds {
+            self.window_bounds.insert(conn, bound);
+        }
+        self.violations.extend(other.violations.iter().cloned());
+        self.total += other.total;
+        self.conservation_flagged |= other.conservation_flagged;
+    }
+
+    /// Canonicalize a merged auditor: violations in `(t, invariant,
+    /// detail)` order — a shard-count-independent order, unlike the
+    /// interleaving-dependent order they were observed in — truncated to
+    /// the recording cap.
+    pub(crate) fn finalize_merge(&mut self) {
+        fn tag(i: Invariant) -> u8 {
+            match i {
+                Invariant::PacketConservation => 0,
+                Invariant::MonotoneAck => 1,
+                Invariant::WindowBound => 2,
+                Invariant::QueueOccupancy => 3,
+            }
+        }
+        self.violations.sort_by(|a, b| {
+            (a.t, tag(a.invariant), &a.detail).cmp(&(b.t, tag(b.invariant), &b.detail))
+        });
+        self.violations.truncate(MAX_RECORDED);
+    }
+
+    /// Global conservation over merged counters, checked at the end of a
+    /// sharded run. The run stops at a time bound, not at quiescence, so
+    /// in-flight packets are unaccounted and only the inequality
+    /// `delivered + dropped ≤ injected` must hold.
+    pub(crate) fn check_merged_conservation(&mut self, t: SimTime) {
+        if !self.conservation_flagged && self.delivered + self.dropped > self.injected {
+            self.conservation_flagged = true;
+            self.record(
+                t,
+                Invariant::PacketConservation,
+                format!(
+                    "merged: delivered {} + dropped {} > injected {}",
+                    self.delivered, self.dropped, self.injected
+                ),
+            );
+        }
     }
 
     /// Packets injected so far (sends + fault duplications).
@@ -317,7 +394,10 @@ impl Audit {
         self.delivered = r.read_u64()?;
         self.dropped = r.read_u64()?;
         let n_acks = r.read_u64()?;
-        self.last_ack = HashMap::with_capacity(n_acks as usize);
+        // Capacity bounded by the bytes that could actually encode the
+        // entries (each costs ≥ 16 bytes), so a corrupt count fails on
+        // a read instead of attempting a huge allocation.
+        self.last_ack = HashMap::with_capacity((n_acks as usize).min(r.remaining()));
         for _ in 0..n_acks {
             let c = ConnId(r.read_u32()?);
             let n = NodeId(r.read_u32()?);
@@ -325,7 +405,7 @@ impl Audit {
             self.last_ack.insert((c, n), seq);
         }
         let n_bounds = r.read_u64()?;
-        self.window_bounds = HashMap::with_capacity(n_bounds as usize);
+        self.window_bounds = HashMap::with_capacity((n_bounds as usize).min(r.remaining()));
         for _ in 0..n_bounds {
             let c = ConnId(r.read_u32()?);
             let b = r.read_f64()?;

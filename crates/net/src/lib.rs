@@ -93,11 +93,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arena;
 pub mod audit;
 mod discipline;
 mod fault;
 mod packet;
+mod partition;
 pub mod pcap;
+pub mod shard;
 pub mod snapcount;
 mod topology;
 mod trace;
@@ -111,6 +114,7 @@ pub use fault::{
 };
 pub use packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
 pub use pcap::{text_dump, to_pcap_bytes, write_pcap, CapturePoint};
+pub use shard::{ShardSnapshot, ShardedWorld};
 pub use topology::{chain, dumbbell, Chain, Dumbbell, LinkSpec};
 pub use trace::{DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceRecord};
 pub use watchdog::{

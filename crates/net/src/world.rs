@@ -9,6 +9,11 @@
 //! world. Endpoint callbacks never recurse into other endpoints — all
 //! inter-endpoint communication rides packets through the event queue.
 //!
+//! Hot per-channel and per-host state lives in struct-of-arrays arenas
+//! (see [`crate::arena`]): `Copy` configuration columns stay densely
+//! packed, and the world borrows one channel as a [`ChannelMut`] view
+//! while independently touching its own trace, audit, and queue fields.
+//!
 //! ## Life of a packet
 //!
 //! 1. An endpoint calls [`Ctx::send`] → `Send` trace record → the packet is
@@ -24,7 +29,20 @@
 //! 5. `Arrival` at a switch re-enters step 2 on the routed output channel;
 //!    at a host it joins the serial processing queue and is handed to the
 //!    endpoint (`Deliver` record) after the per-packet processing delay.
+//!
+//! ## Canonical mode
+//!
+//! A world built for sharded execution (see [`crate::shard`]) runs in
+//! *canonical* mode: simultaneous events are ordered by a content-derived
+//! FNV-1a key instead of scheduling order, packet ids are drawn from
+//! per-endpoint counters instead of a global one, and queue-discipline
+//! randomness comes from each channel's private stream instead of the
+//! world's shared one. All three make the observable execution a function
+//! of the topology alone, independent of how it is partitioned across
+//! shards. Serial worlds (the default) are bit-for-bit unchanged: every
+//! event carries key 0 and ties fall back to FIFO scheduling order.
 
+use crate::arena::{ChannelArena, HostArena};
 use crate::audit::Audit;
 use crate::discipline::{Discipline, Victim};
 use crate::fault::{FaultError, FaultKind, FaultModel, FaultOutcome, FaultPlan};
@@ -35,6 +53,7 @@ use crate::watchdog::{
     EndpointProgress, RunOutcome, StallKind, StallReport, StuckConn, WatchdogConfig,
 };
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use td_engine::{
@@ -53,26 +72,95 @@ pub struct ChannelId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EndpointId(pub u32);
 
+thread_local! {
+    /// When set, [`TimerHandle::save_state`] writes canonical pending-event
+    /// indices instead of raw slab coordinates: the map takes a handle's
+    /// `(slot, gen)` to its event's index in the globally sorted pending
+    /// set of a sharded snapshot. Raw coordinates are shard-layout
+    /// artifacts; the canonical index is not.
+    static TIMER_SAVE_XLAT: RefCell<Option<HashMap<(u32, u64), u64>>> =
+        const { RefCell::new(None) };
+    /// The reverse map for restore: canonical pending-event index → the
+    /// `(slot, gen)` the event received when it was re-scheduled into the
+    /// restoring shard's queue.
+    static TIMER_LOAD_XLAT: RefCell<Option<HashMap<u64, (u32, u64)>>> =
+        const { RefCell::new(None) };
+}
+
+/// Install (or clear) the canonical-snapshot save translation for this
+/// thread. Scoped strictly around endpoint `save_state` calls.
+pub(crate) fn set_timer_save_xlat(map: Option<HashMap<(u32, u64), u64>>) {
+    TIMER_SAVE_XLAT.with(|c| *c.borrow_mut() = map);
+}
+
+/// Install (or clear) the canonical-snapshot load translation for this
+/// thread. Scoped strictly around endpoint `load_state` calls.
+pub(crate) fn set_timer_load_xlat(map: Option<HashMap<u64, (u32, u64)>>) {
+    TIMER_LOAD_XLAT.with(|c| *c.borrow_mut() = map);
+}
+
 /// Handle to a pending endpoint timer, used to cancel it.
 #[derive(Clone, Copy, Debug)]
 pub struct TimerHandle(EventId);
 
 impl TimerHandle {
-    /// Serialize the handle (snapshot support for endpoints holding armed
-    /// timers). Only meaningful against the event-queue state captured in
-    /// the same snapshot: the queue round-trips its slab cell-for-cell, so
-    /// a live handle stays live and a stale one stays stale.
-    pub fn save_state(&self, w: &mut SnapWriter) {
-        let (slot, gen) = self.0.into_raw();
-        w.write_u32(slot);
-        w.write_u64(gen);
+    /// A handle that is stale by construction (out of any slab's range):
+    /// `cancel` on it reports "already fired", exactly like a handle whose
+    /// slot generation has moved on. Canonical snapshots use it for saved
+    /// handles whose timer is no longer pending.
+    fn stale() -> TimerHandle {
+        TimerHandle(EventId::from_raw(u32::MAX, u64::MAX))
     }
 
-    /// Deserialize a handle written by [`TimerHandle::save_state`].
+    /// Serialize the handle (snapshot support for endpoints holding armed
+    /// timers). In the default (serial) snapshot the raw slab coordinates
+    /// go out verbatim — the queue round-trips its slab cell-for-cell, so
+    /// a live handle stays live and a stale one stays stale. Inside a
+    /// canonical sharded snapshot a thread-local translation rewrites the
+    /// handle to its event's canonical pending index (or a stale marker),
+    /// making the bytes independent of shard layout.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let (slot, gen) = self.0.into_raw();
+        let xlat =
+            TIMER_SAVE_XLAT.with(|c| c.borrow().as_ref().map(|m| m.get(&(slot, gen)).copied()));
+        match xlat {
+            // No translation installed: raw slab coordinates.
+            None => {
+                w.write_u32(slot);
+                w.write_u64(gen);
+            }
+            // Canonical: live handle → (pending index, 0).
+            Some(Some(idx)) => {
+                w.write_u32(idx as u32);
+                w.write_u64(0);
+            }
+            // Canonical: handle to a fired/cancelled timer → stale marker.
+            Some(None) => {
+                w.write_u32(u32::MAX);
+                w.write_u64(u64::MAX);
+            }
+        }
+    }
+
+    /// Deserialize a handle written by [`TimerHandle::save_state`],
+    /// applying the reverse translation when a canonical restore is in
+    /// progress on this thread.
     pub fn load_state(r: &mut SnapReader<'_>) -> Result<TimerHandle, SnapError> {
         let slot = r.read_u32()?;
         let gen = r.read_u64()?;
-        Ok(TimerHandle(EventId::from_raw(slot, gen)))
+        let translated = TIMER_LOAD_XLAT.with(|c| {
+            c.borrow().as_ref().map(|m| {
+                if slot == u32::MAX && gen == u64::MAX {
+                    TimerHandle::stale()
+                } else {
+                    match m.get(&u64::from(slot)) {
+                        Some(&(s, g)) => TimerHandle(EventId::from_raw(s, g)),
+                        None => TimerHandle::stale(),
+                    }
+                }
+            })
+        });
+        Ok(translated.unwrap_or(TimerHandle(EventId::from_raw(slot, gen))))
     }
 }
 
@@ -96,8 +184,10 @@ pub struct ChannelStats {
 /// `td-core` implements TCP senders and receivers against this trait. The
 /// contract: an endpoint may only interact with the world through the
 /// [`Ctx`] it is handed, and every callback runs to completion before any
-/// other event fires.
-pub trait Endpoint {
+/// other event fires. Endpoints are `Send` so a sharded run can move each
+/// shard's world onto its worker thread; they still never run concurrently
+/// with anything that shares their state.
+pub trait Endpoint: Send {
     /// Called once, at the endpoint's scheduled start time.
     fn on_start(&mut self, ctx: &mut Ctx<'_>);
 
@@ -140,43 +230,10 @@ pub trait Endpoint {
     }
 }
 
-struct Channel {
-    src: NodeId,
-    dst: NodeId,
-    rate: Rate,
-    delay: SimDuration,
-    capacity: Option<u32>,
-    discipline: Box<dyn Discipline>,
-    /// The packet being serialized, with its TxStart time.
-    in_service: Option<(Packet, SimTime)>,
-    fault: FaultPlan,
-    /// Private randomness for fault decisions, derived from the world seed
-    /// and channel id. Fault draws never touch the world's shared stream,
-    /// so configuring faults on one channel cannot perturb any other
-    /// random decision in the run.
-    rng: SimRng,
-    /// DECbit-style congestion marking: when `Some(k)`, an accepted packet
-    /// whose resulting buffer occupancy (waiting + in service, including
-    /// itself) exceeds `k` gets its CE bit set. `None` (the paper's
-    /// setting) never marks.
-    mark_threshold: Option<u32>,
-    stats: ChannelStats,
-}
-
-impl Channel {
-    /// Buffer occupancy: waiting packets plus the one in service.
-    fn occupancy(&self) -> u32 {
-        self.discipline.len() as u32 + self.in_service.is_some() as u32
-    }
-}
-
 enum NodeKind {
     Host {
-        proc_delay: SimDuration,
         uplink: Option<ChannelId>,
         endpoints: HashMap<ConnId, EndpointId>,
-        proc_queue: VecDeque<Packet>,
-        proc_busy: bool,
     },
     Switch {
         routes: HashMap<NodeId, ChannelId>,
@@ -195,7 +252,7 @@ struct EpMeta {
 }
 
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     TxComplete(ChannelId),
     Arrival {
         ch: ChannelId,
@@ -213,7 +270,32 @@ enum Event {
     LinkUp(ChannelId),
 }
 
-fn save_event(ev: &Event, w: &mut SnapWriter) {
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(FNV_PRIME)
+}
+
+/// Content-derived ordering key for canonical mode: a function of *what*
+/// the event is (kind, component ids, packet identity), never of when or
+/// where it was scheduled. Two distinct events simultaneous at the same
+/// instant get distinct keys (up to FNV collisions); the one same-key case
+/// — a fault-duplicated packet's two identical `Arrival`s — commutes, so
+/// the residual FIFO tie-break is unobservable.
+fn canonical_key(ev: &Event) -> u64 {
+    let h = FNV_OFFSET;
+    match ev {
+        Event::TxComplete(ch) => fnv(fnv(h, 0), u64::from(ch.0)),
+        Event::Arrival { ch, pkt } => fnv(fnv(fnv(h, 1), u64::from(ch.0)), pkt.id.0),
+        Event::HostProcess(node) => fnv(fnv(h, 2), u64::from(node.0)),
+        Event::Timer { ep, token } => fnv(fnv(fnv(h, 3), u64::from(ep.0)), *token),
+        Event::Start(ep) => fnv(fnv(h, 4), u64::from(ep.0)),
+        Event::LinkUp(ch) => fnv(fnv(h, 5), u64::from(ch.0)),
+    }
+}
+
+pub(crate) fn save_event(ev: &Event, w: &mut SnapWriter) {
     match ev {
         Event::TxComplete(ch) => {
             w.write_u8(0);
@@ -244,7 +326,7 @@ fn save_event(ev: &Event, w: &mut SnapWriter) {
     }
 }
 
-fn load_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
+pub(crate) fn load_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
     Ok(match r.read_u8()? {
         0 => Event::TxComplete(ChannelId(r.read_u32()?)),
         1 => Event::Arrival {
@@ -262,7 +344,7 @@ fn load_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
     })
 }
 
-fn save_trace_record(rec: &TraceRecord, w: &mut SnapWriter) {
+pub(crate) fn save_trace_record(rec: &TraceRecord, w: &mut SnapWriter) {
     w.write_time(rec.t);
     match &rec.ev {
         TraceEvent::Send { node, pkt } => {
@@ -348,7 +430,7 @@ fn save_trace_record(rec: &TraceRecord, w: &mut SnapWriter) {
     }
 }
 
-fn load_trace_record(r: &mut SnapReader<'_>) -> Result<TraceRecord, SnapError> {
+pub(crate) fn load_trace_record(r: &mut SnapReader<'_>) -> Result<TraceRecord, SnapError> {
     let t = r.read_time()?;
     let ev = match r.read_u8()? {
         0 => TraceEvent::Send {
@@ -428,21 +510,38 @@ pub struct Snapshot {
 impl Snapshot {
     /// File/stream magic: "TDSN".
     pub const MAGIC: &'static [u8; 4] = b"TDSN";
-    /// Current format version.
-    pub const VERSION: u32 = 1;
+    /// Current format version. Version 2 added the canonical-mode flag,
+    /// per-endpoint packet-id counters, and per-event ordering keys
+    /// inside the queue section.
+    pub const VERSION: u32 = 2;
 
     /// The raw snapshot bytes (header included).
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
 
-    /// Adopt raw bytes, validating the magic and version (the payload is
-    /// validated lazily by [`World::restore`]).
+    /// Adopt raw bytes, validating the header and the structural
+    /// fingerprint's basic sanity (the payload is validated lazily by
+    /// [`World::restore`]). Declared component counts are bounded by the
+    /// byte length — every component costs at least one payload byte — so
+    /// corrupt counts fail here as a structured error instead of asking
+    /// the restore path to allocate for them.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SnapError> {
         let mut r = SnapReader::new(&bytes);
         let version = r.expect_header(Self::MAGIC)?;
         if version != Self::VERSION {
             return Err(SnapError::UnsupportedVersion(version));
+        }
+        let _seed = r.read_u64()?;
+        let n_nodes = r.read_u32()? as u64;
+        let n_channels = r.read_u32()? as u64;
+        let n_endpoints = r.read_u32()? as u64;
+        let declared = n_nodes + n_channels + n_endpoints;
+        if declared > r.remaining() as u64 {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot declares {declared} components but only {} payload byte(s) remain",
+                r.remaining()
+            )));
         }
         Ok(Snapshot { bytes })
     }
@@ -468,7 +567,8 @@ impl Snapshot {
 pub struct World {
     queue: EventQueue<Event>,
     nodes: Vec<Node>,
-    channels: Vec<Channel>,
+    hosts: HostArena,
+    channels: ChannelArena,
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     ep_meta: Vec<EpMeta>,
     trace: Trace,
@@ -476,6 +576,17 @@ pub struct World {
     seed: u64,
     audit: Audit,
     next_packet_id: u64,
+    /// Canonical (shard-invariant) execution mode; see the module docs.
+    /// Set before construction, never toggled afterwards.
+    canonical: bool,
+    /// Canonical-mode packet-id counters, one per endpoint.
+    ep_packet_ctr: Vec<u64>,
+    /// Sharded runs: `remote_node[n]` marks nodes owned by another shard.
+    /// Empty (the default) means every node is local.
+    remote_node: Vec<bool>,
+    /// Sharded runs: cross-shard deliveries buffered for the executor,
+    /// as `(arrival time, channel, packet)`.
+    outbox: Vec<(SimTime, ChannelId, Packet)>,
 }
 
 impl World {
@@ -484,7 +595,8 @@ impl World {
         World {
             queue: EventQueue::new(),
             nodes: Vec::new(),
-            channels: Vec::new(),
+            hosts: HostArena::new(),
+            channels: ChannelArena::new(),
             endpoints: Vec::new(),
             ep_meta: Vec::new(),
             trace: Trace::new(),
@@ -492,6 +604,10 @@ impl World {
             seed,
             audit: Audit::default(),
             next_packet_id: 0,
+            canonical: false,
+            ep_packet_ctr: Vec::new(),
+            remote_node: Vec::new(),
+            outbox: Vec::new(),
         }
     }
 
@@ -504,13 +620,11 @@ impl World {
         self.nodes.push(Node {
             name: name.to_owned(),
             kind: NodeKind::Host {
-                proc_delay,
                 uplink: None,
                 endpoints: HashMap::new(),
-                proc_queue: VecDeque::new(),
-                proc_busy: false,
             },
         });
+        self.hosts.push_host(proc_delay);
         id
     }
 
@@ -524,6 +638,7 @@ impl World {
                 routes: HashMap::new(),
             },
         });
+        self.hosts.push_switch();
         id
     }
 
@@ -546,19 +661,17 @@ impl World {
             "a channel needs at least one buffer slot to transmit"
         );
         let id = ChannelId(self.channels.len() as u32);
-        self.channels.push(Channel {
+        let rng = SimRng::new(self.seed).derive(FAULT_STREAM ^ u64::from(id.0));
+        self.channels.push(
             src,
             dst,
             rate,
             delay,
             capacity,
             discipline,
-            in_service: None,
-            fault: FaultPlan::from(fault),
-            rng: SimRng::new(self.seed).derive(FAULT_STREAM ^ u64::from(id.0)),
-            mark_threshold: None,
-            stats: ChannelStats::default(),
-        });
+            FaultPlan::from(fault),
+            rng,
+        );
         if let NodeKind::Host { uplink, .. } = &mut self.nodes[src.0 as usize].kind {
             assert!(
                 uplink.is_none(),
@@ -581,10 +694,10 @@ impl World {
         plan.validate()?;
         for outage in &plan.outages {
             if outage.up < SimTime::MAX {
-                self.queue.schedule_at(outage.up, Event::LinkUp(ch));
+                self.schedule_event(outage.up, Event::LinkUp(ch));
             }
         }
-        self.channels[ch.0 as usize].fault = plan;
+        self.channels.set_fault(ch.0 as usize, plan);
         Ok(())
     }
 
@@ -592,7 +705,7 @@ impl World {
     /// acceptance pushes buffer occupancy above `threshold` get their CE
     /// bit set (see [`crate::Packet::ce`]).
     pub fn set_mark_threshold(&mut self, ch: ChannelId, threshold: Option<u32>) {
-        self.channels[ch.0 as usize].mark_threshold = threshold;
+        self.channels.set_mark_threshold(ch.0 as usize, threshold);
     }
 
     /// Install a static route: packets for destination host `dst` arriving
@@ -611,7 +724,7 @@ impl World {
     pub fn compute_routes(&mut self) {
         let hosts: Vec<NodeId> = (0..self.nodes.len() as u32)
             .map(NodeId)
-            .filter(|n| matches!(self.nodes[n.0 as usize].kind, NodeKind::Host { .. }))
+            .filter(|n| self.hosts.is_host(n.0 as usize))
             .collect();
         for &dst in &hosts {
             // BFS on reversed edges from dst; dist/via arrays per node.
@@ -622,11 +735,12 @@ impl World {
             let mut frontier = VecDeque::from([dst]);
             while let Some(u) = frontier.pop_front() {
                 // Channels in id order → deterministic tie-breaking.
-                for (ci, ch) in self.channels.iter().enumerate() {
-                    if ch.dst == u && dist[ch.src.0 as usize] == u32::MAX {
-                        dist[ch.src.0 as usize] = dist[u.0 as usize] + 1;
-                        via[ch.src.0 as usize] = Some(ChannelId(ci as u32));
-                        frontier.push_back(ch.src);
+                for ci in 0..self.channels.len() {
+                    let (cs, cd) = (self.channels.src(ci), self.channels.dst(ci));
+                    if cd == u && dist[cs.0 as usize] == u32::MAX {
+                        dist[cs.0 as usize] = dist[u.0 as usize] + 1;
+                        via[cs.0 as usize] = Some(ChannelId(ci as u32));
+                        frontier.push_back(cs);
                     }
                 }
             }
@@ -662,12 +776,26 @@ impl World {
         }
         self.endpoints.push(Some(ep));
         self.ep_meta.push(EpMeta { host, peer, conn });
+        self.ep_packet_ctr.push(0);
         id
     }
 
     /// Schedule an endpoint's `on_start` at absolute time `t`.
     pub fn start_at(&mut self, ep: EndpointId, t: SimTime) {
-        self.queue.schedule_at(t, Event::Start(ep));
+        self.schedule_event(t, Event::Start(ep));
+    }
+
+    /// Schedule an event, deriving its canonical ordering key when the
+    /// world runs in canonical mode (serial worlds use key 0 throughout,
+    /// which degrades ties to FIFO order — the legacy behavior, bit for
+    /// bit).
+    fn schedule_event(&mut self, at: SimTime, ev: Event) -> EventId {
+        let key = if self.canonical {
+            canonical_key(&ev)
+        } else {
+            0
+        };
+        self.queue.schedule_keyed(at, key, ev)
     }
 
     // -- running ------------------------------------------------------------
@@ -769,20 +897,10 @@ impl World {
     /// events are not counted — they are accounted by the event queue, and
     /// this is only read when it has drained.)
     fn packets_in_network(&self) -> u64 {
-        let channel_pkts: u64 = self
-            .channels
-            .iter()
-            .map(|c| c.discipline.len() as u64 + c.in_service.is_some() as u64)
+        let channel_pkts: u64 = (0..self.channels.len())
+            .map(|ci| u64::from(self.channels.occupancy(ci)))
             .sum();
-        let host_pkts: u64 = self
-            .nodes
-            .iter()
-            .map(|n| match &n.kind {
-                NodeKind::Host { proc_queue, .. } => proc_queue.len() as u64,
-                NodeKind::Switch { .. } => 0,
-            })
-            .sum();
-        channel_pkts + host_pkts
+        channel_pkts + self.hosts.queued_packets()
     }
 
     /// Endpoints that self-report unfinished work, with their state
@@ -904,12 +1022,12 @@ impl World {
 
     /// Online counters for a channel.
     pub fn channel_stats(&self, ch: ChannelId) -> ChannelStats {
-        self.channels[ch.0 as usize].stats
+        self.channels.stats(ch.0 as usize)
     }
 
     /// Current buffer occupancy of a channel (waiting + in service).
     pub fn channel_occupancy(&self, ch: ChannelId) -> u32 {
-        self.channels[ch.0 as usize].occupancy()
+        self.channels.occupancy(ch.0 as usize)
     }
 
     /// Fraction of `[SimTime::ZERO, now]` the channel's transmitter was
@@ -919,10 +1037,11 @@ impl World {
         if now == SimTime::ZERO {
             return 0.0;
         }
-        let mut busy = self.channels[ch.0 as usize].stats.busy;
+        let ci = ch.0 as usize;
+        let mut busy = self.channels.stats(ci).busy;
         // Count the in-progress transmission up to `now`.
-        if let Some((_, started)) = self.channels[ch.0 as usize].in_service {
-            busy += now.saturating_since(started);
+        if let Some((_, started)) = self.channels.in_service(ci) {
+            busy += now.saturating_since(*started);
         }
         busy.as_secs_f64() / now.as_secs_f64()
     }
@@ -947,10 +1066,14 @@ impl World {
         w.write_u32(self.channels.len() as u32);
         w.write_u32(self.endpoints.len() as u32);
         // Engine state: pending events (with the clock inside), the shared
-        // stream, and the packet-id counter.
+        // stream, and the packet-id counters.
         self.queue.save_state(&mut w, save_event);
         w.write_rng(&self.rng);
         w.write_u64(self.next_packet_id);
+        w.write_bool(self.canonical);
+        for &ctr in &self.ep_packet_ctr {
+            w.write_u64(ctr);
+        }
         // Trace.
         w.write_bool(self.trace.is_enabled());
         let records = self.trace.records();
@@ -961,52 +1084,22 @@ impl World {
         // Auditor.
         self.audit.save_state(&mut w);
         // Per-host receive-path state (switches carry none).
-        for node in &self.nodes {
-            if let NodeKind::Host {
-                proc_queue,
-                proc_busy,
-                ..
-            } = &node.kind
-            {
-                w.write_bool(*proc_busy);
-                w.write_u64(proc_queue.len() as u64);
-                for p in proc_queue {
-                    p.save_state(&mut w);
-                }
+        for ni in 0..self.nodes.len() {
+            if self.hosts.is_host(ni) {
+                self.save_host_row(ni, &mut w);
             }
         }
         // Per-channel mutable state. The discipline gets its own section
         // so a save/load asymmetry in one implementation fails at its own
         // boundary.
-        for ch in &self.channels {
-            match &ch.in_service {
-                Some((pkt, started)) => {
-                    w.write_bool(true);
-                    pkt.save_state(&mut w);
-                    w.write_time(*started);
-                }
-                None => w.write_bool(false),
-            }
-            w.write_bool(ch.fault.burst.as_ref().is_some_and(|b| b.in_bad()));
-            w.write_rng(&ch.rng);
-            w.write_dur(ch.stats.busy);
-            w.write_u64(ch.stats.tx_packets);
-            w.write_u64(ch.stats.tx_bytes);
-            w.write_u64(ch.stats.drops);
-            w.write_u64(ch.stats.enqueued);
-            let mut dw = SnapWriter::new();
-            ch.discipline.save_state(&mut dw);
-            w.write_section(dw);
+        for ci in 0..self.channels.len() {
+            self.save_channel_row(ci, &mut w);
         }
         // Endpoints, one section each (empty for a detached slot, which
         // can only be observed if snapshot were called mid-dispatch — the
         // symmetric read keeps even that case consistent).
-        for ep in &self.endpoints {
-            let mut ew = SnapWriter::new();
-            if let Some(ep) = ep {
-                ep.save_state(&mut ew);
-            }
-            w.write_section(ew);
+        for i in 0..self.endpoints.len() {
+            self.save_endpoint_row(i, &mut w);
         }
         snapcount::on_snapshot();
         Snapshot {
@@ -1058,6 +1151,21 @@ impl World {
         self.queue = EventQueue::load_state(&mut r, load_event)?;
         self.rng = r.read_rng()?;
         self.next_packet_id = r.read_u64()?;
+        let canonical = r.read_bool()?;
+        if canonical != self.canonical {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot was taken in {} mode, this world is in {} mode",
+                if canonical { "canonical" } else { "serial" },
+                if self.canonical {
+                    "canonical"
+                } else {
+                    "serial"
+                },
+            )));
+        }
+        for ctr in &mut self.ep_packet_ctr {
+            *ctr = r.read_u64()?;
+        }
         let enabled = r.read_bool()?;
         let n_rec = r.read_u64()?;
         let mut records = Vec::with_capacity((n_rec as usize).min(r.remaining()));
@@ -1067,58 +1175,136 @@ impl World {
         self.trace.set_enabled(enabled);
         self.trace.set_records(records);
         self.audit.load_state(&mut r)?;
-        for node in &mut self.nodes {
-            if let NodeKind::Host {
-                proc_queue,
-                proc_busy,
-                ..
-            } = &mut node.kind
-            {
-                *proc_busy = r.read_bool()?;
-                let n = r.read_u64()?;
-                proc_queue.clear();
-                for _ in 0..n {
-                    proc_queue.push_back(Packet::load_state(&mut r)?);
-                }
+        for ni in 0..self.nodes.len() {
+            if self.hosts.is_host(ni) {
+                self.load_host_row(ni, &mut r)?;
             }
         }
-        for ch in &mut self.channels {
-            ch.in_service = if r.read_bool()? {
-                let pkt = Packet::load_state(&mut r)?;
-                let started = r.read_time()?;
-                Some((pkt, started))
-            } else {
-                None
-            };
-            let in_bad = r.read_bool()?;
-            match &mut ch.fault.burst {
-                Some(b) => b.set_in_bad(in_bad),
-                None if in_bad => {
-                    return Err(SnapError::Mismatch(
-                        "snapshot carries burst-loss state for a channel without a \
-                         burst process"
-                            .into(),
-                    ))
-                }
-                None => {}
-            }
-            ch.rng = r.read_rng()?;
-            ch.stats.busy = r.read_dur()?;
-            ch.stats.tx_packets = r.read_u64()?;
-            ch.stats.tx_bytes = r.read_u64()?;
-            ch.stats.drops = r.read_u64()?;
-            ch.stats.enqueued = r.read_u64()?;
-            r.read_section(|r| ch.discipline.load_state(r))?;
+        for ci in 0..self.channels.len() {
+            self.load_channel_row(ci, &mut r)?;
         }
-        for ep in &mut self.endpoints {
-            r.read_section(|r| match ep {
-                Some(ep) => ep.load_state(r),
-                None => Ok(()),
-            })?;
+        for i in 0..self.endpoints.len() {
+            self.load_endpoint_row(i, &mut r)?;
         }
         r.finish()?;
         snapcount::on_restore();
         Ok(())
+    }
+
+    /// Serialize one host's receive-path state (processing flag + queue).
+    pub(crate) fn save_host_row(&self, ni: usize, w: &mut SnapWriter) {
+        w.write_bool(self.hosts.proc_busy(ni));
+        let q = self.hosts.proc_queue(ni);
+        w.write_u64(q.len() as u64);
+        for p in q {
+            p.save_state(w);
+        }
+    }
+
+    /// Restore one host's receive-path state.
+    pub(crate) fn load_host_row(
+        &mut self,
+        ni: usize,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        let busy = r.read_bool()?;
+        self.hosts.set_proc_busy(ni, busy);
+        let n = r.read_u64()?;
+        let q = self.hosts.proc_queue_mut(ni);
+        q.clear();
+        for _ in 0..n {
+            q.push_back(Packet::load_state(r)?);
+        }
+        Ok(())
+    }
+
+    /// Serialize one channel's mutable state (in-service slot, burst-loss
+    /// phase, private RNG, counters, and the discipline's own section).
+    pub(crate) fn save_channel_row(&self, ci: usize, w: &mut SnapWriter) {
+        match self.channels.in_service(ci) {
+            Some((pkt, started)) => {
+                w.write_bool(true);
+                pkt.save_state(w);
+                w.write_time(*started);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_bool(
+            self.channels
+                .fault(ci)
+                .burst
+                .as_ref()
+                .is_some_and(|b| b.in_bad()),
+        );
+        w.write_rng(self.channels.rng(ci));
+        let stats = self.channels.stats(ci);
+        w.write_dur(stats.busy);
+        w.write_u64(stats.tx_packets);
+        w.write_u64(stats.tx_bytes);
+        w.write_u64(stats.drops);
+        w.write_u64(stats.enqueued);
+        let mut dw = SnapWriter::new();
+        self.channels.discipline(ci).save_state(&mut dw);
+        w.write_section(dw);
+    }
+
+    /// Restore one channel's mutable state.
+    pub(crate) fn load_channel_row(
+        &mut self,
+        ci: usize,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        let in_service = if r.read_bool()? {
+            let pkt = Packet::load_state(r)?;
+            let started = r.read_time()?;
+            Some((pkt, started))
+        } else {
+            None
+        };
+        self.channels.set_in_service(ci, in_service);
+        let in_bad = r.read_bool()?;
+        match &mut self.channels.fault_mut(ci).burst {
+            Some(b) => b.set_in_bad(in_bad),
+            None if in_bad => {
+                return Err(SnapError::Mismatch(
+                    "snapshot carries burst-loss state for a channel without a \
+                     burst process"
+                        .into(),
+                ))
+            }
+            None => {}
+        }
+        self.channels.set_rng(ci, r.read_rng()?);
+        let stats = self.channels.stats_mut(ci);
+        stats.busy = r.read_dur()?;
+        stats.tx_packets = r.read_u64()?;
+        stats.tx_bytes = r.read_u64()?;
+        stats.drops = r.read_u64()?;
+        stats.enqueued = r.read_u64()?;
+        r.read_section(|r| self.channels.discipline_mut(ci).load_state(r))?;
+        Ok(())
+    }
+
+    /// Serialize one endpoint as a length-prefixed section.
+    pub(crate) fn save_endpoint_row(&self, i: usize, w: &mut SnapWriter) {
+        let mut ew = SnapWriter::new();
+        if let Some(ep) = &self.endpoints[i] {
+            ep.save_state(&mut ew);
+        }
+        w.write_section(ew);
+    }
+
+    /// Restore one endpoint from its length-prefixed section.
+    pub(crate) fn load_endpoint_row(
+        &mut self,
+        i: usize,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        let ep = &mut self.endpoints[i];
+        r.read_section(|r| match ep {
+            Some(ep) => ep.load_state(r),
+            None => Ok(()),
+        })
     }
 
     /// The endpoint object, for downcasting to its concrete type after a
@@ -1139,8 +1325,158 @@ impl World {
 
     /// Endpoints of a channel as `(src, dst)`.
     pub fn channel_nodes(&self, ch: ChannelId) -> (NodeId, NodeId) {
-        let c = &self.channels[ch.0 as usize];
-        (c.src, c.dst)
+        (
+            self.channels.src(ch.0 as usize),
+            self.channels.dst(ch.0 as usize),
+        )
+    }
+
+    /// Propagation delay of a channel.
+    pub fn channel_delay(&self, ch: ChannelId) -> SimDuration {
+        self.channels.delay(ch.0 as usize)
+    }
+
+    // -- shard support (crate-internal; see `crate::shard`) -----------------
+
+    /// Switch this world into canonical (shard-invariant) execution mode.
+    /// Must precede all scheduling: events scheduled beforehand would
+    /// carry key 0 and order differently from a canonically keyed rebuild.
+    pub(crate) fn set_canonical(&mut self) {
+        assert!(
+            self.queue.is_empty() && self.queue.dispatched() == 0,
+            "canonical mode must be set before anything is scheduled"
+        );
+        self.canonical = true;
+    }
+
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    pub(crate) fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    pub(crate) fn is_host_node(&self, ni: usize) -> bool {
+        self.hosts.is_host(ni)
+    }
+
+    pub(crate) fn ep_host(&self, i: usize) -> NodeId {
+        self.ep_meta[i].host
+    }
+
+    pub(crate) fn ep_packet_ctr(&self, i: usize) -> u64 {
+        self.ep_packet_ctr[i]
+    }
+
+    pub(crate) fn set_ep_packet_ctr(&mut self, i: usize, v: u64) {
+        self.ep_packet_ctr[i] = v;
+    }
+
+    /// Mark the nodes owned by other shards. Deliveries whose destination
+    /// is remote divert to the outbox instead of the local queue, and the
+    /// auditor switches to distributed mode (per-shard conservation is
+    /// meaningless once packets cross shard borders; the executor checks
+    /// the merged counters instead).
+    pub(crate) fn set_remote_nodes(&mut self, remote: Vec<bool>) {
+        assert_eq!(remote.len(), self.nodes.len());
+        self.remote_node = remote;
+        self.audit.set_distributed();
+    }
+
+    /// The shard that must execute `ev`: the shard owning the node whose
+    /// state the event mutates first.
+    pub(crate) fn event_shard(&self, node_shard: &[u32], ev: &Event) -> u32 {
+        let node = match ev {
+            // Transmitter-side events live with the channel, i.e. its src.
+            Event::TxComplete(ch) | Event::LinkUp(ch) => self.channels.src(ch.0 as usize),
+            Event::Arrival { ch, .. } => self.channels.dst(ch.0 as usize),
+            Event::HostProcess(node) => *node,
+            Event::Timer { ep, .. } | Event::Start(ep) => self.ep_meta[ep.0 as usize].host,
+        };
+        node_shard[node.0 as usize]
+    }
+
+    /// Drain every pending event and re-schedule only those this shard
+    /// owns. Each shard builds the *full* world so global ids align, then
+    /// keeps its slice of the initial event population.
+    pub(crate) fn retain_owned_events(&mut self, node_shard: &[u32], my_shard: u32) {
+        for (at, key, ev) in self.queue.drain_pending() {
+            if self.event_shard(node_shard, &ev) == my_shard {
+                self.queue.schedule_keyed(at, key, ev);
+            }
+        }
+    }
+
+    /// Drop every pending event (sharded restore wipes the freshly built
+    /// initial population before re-scheduling the snapshot's event set).
+    pub(crate) fn clear_pending(&mut self) {
+        let _ = self.queue.drain_pending();
+    }
+
+    /// Dispatch every event strictly before `bound` (the shard's current
+    /// safe horizon).
+    pub(crate) fn run_before(&mut self, bound: SimTime) {
+        while self.queue.peek_time().is_some_and(|t| t < bound) {
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(t, ev);
+        }
+    }
+
+    /// Earliest pending local event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Take the buffered cross-shard deliveries.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(SimTime, ChannelId, Packet)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Accept a delivery exported by another shard (the arrival side of a
+    /// cut channel). `at` is never in this shard's past: the sender's
+    /// horizon protocol guarantees `at ≥ lb_sender + delay ≥ now`.
+    pub(crate) fn inject_arrival(&mut self, at: SimTime, ch: ChannelId, pkt: Packet) {
+        self.schedule_event(at, Event::Arrival { ch, pkt });
+    }
+
+    /// Advance the clock to `t` (idle shard catching up to the run's end
+    /// time so every shard agrees on `now`).
+    pub(crate) fn advance_clock(&mut self, t: SimTime) {
+        self.queue.advance_clock(t);
+    }
+
+    /// The pending event set in canonical pop order, each event encoded to
+    /// bytes: `(at, key, queue id, bytes)`. The queue id correlates
+    /// entries with timer handles held by endpoints.
+    pub(crate) fn pending_event_blobs(&self) -> Vec<(SimTime, u64, EventId, Vec<u8>)> {
+        self.queue
+            .pending_entries()
+            .into_iter()
+            .map(|(at, key, id, ev)| {
+                let mut w = SnapWriter::new();
+                save_event(ev, &mut w);
+                (at, key, id, w.into_bytes())
+            })
+            .collect()
+    }
+
+    /// Re-schedule a pending event captured by
+    /// [`World::pending_event_blobs`] (canonical restore path). Returns
+    /// the new queue id so timer handles can be re-linked.
+    pub(crate) fn schedule_event_blob(
+        &mut self,
+        at: SimTime,
+        bytes: &[u8],
+    ) -> Result<EventId, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let ev = load_event(&mut r)?;
+        r.finish()?;
+        Ok(self.schedule_event(at, ev))
     }
 
     // -- internals ----------------------------------------------------------
@@ -1158,12 +1494,19 @@ impl World {
 
     /// Offer a packet to a channel's buffer, applying capacity + discipline.
     fn offer(&mut self, t: SimTime, ch_id: ChannelId, mut pkt: Packet) {
-        let ch = &mut self.channels[ch_id.0 as usize];
+        let canonical = self.canonical;
+        let ch = self.channels.get_mut(ch_id.0 as usize);
         let occupancy = ch.occupancy();
         let capacity = ch.capacity;
+        // Canonical mode keeps queue-discipline randomness on the
+        // channel's private stream: the draw sequence then depends only on
+        // the traffic through this channel, not on how events from other
+        // shards interleave with it. Serial mode keeps the legacy shared
+        // stream, preserving historical traces bit for bit.
+        let rng: &mut SimRng = if canonical { ch.rng } else { &mut self.rng };
         // Active queue management (RED) may discard before the buffer is
         // physically full.
-        if !ch.discipline.admit(&pkt, occupancy, &mut self.rng) {
+        if !ch.discipline.admit(&pkt, occupancy, rng) {
             ch.stats.drops += 1;
             self.audit.on_drop();
             self.trace.push(
@@ -1181,8 +1524,8 @@ impl World {
         if ch.mark_threshold.is_some_and(|k| occupancy + 1 > k) {
             pkt.ce = true;
         }
-        if ch.capacity.is_some_and(|cap| occupancy >= cap) {
-            match ch.discipline.select_victim(&pkt, &mut self.rng) {
+        if capacity.is_some_and(|cap| occupancy >= cap) {
+            match ch.discipline.select_victim(&pkt, rng) {
                 Victim::Arriving => {
                     ch.stats.drops += 1;
                     self.audit.on_drop();
@@ -1239,35 +1582,38 @@ impl World {
     }
 
     fn maybe_start_tx(&mut self, t: SimTime, ch_id: ChannelId) {
-        let ch = &mut self.channels[ch_id.0 as usize];
-        if ch.in_service.is_some() {
-            return;
-        }
-        // A downed link refuses new transmissions; the LinkUp event
-        // scheduled by `set_fault_plan` restarts it.
-        if ch.fault.is_down(t) {
-            return;
-        }
-        if let Some(pkt) = ch.discipline.dequeue() {
-            ch.in_service = Some((pkt, t));
-            let tx_time = ch.rate.transmission_time(pkt.size);
+        let started = {
+            let ch = self.channels.get_mut(ch_id.0 as usize);
+            // A downed link refuses new transmissions; the LinkUp event
+            // scheduled by `set_fault_plan` restarts it.
+            if ch.in_service.is_some() || ch.fault.is_down(t) {
+                None
+            } else if let Some(pkt) = ch.discipline.dequeue() {
+                *ch.in_service = Some((pkt, t));
+                Some((pkt, ch.rate.transmission_time(pkt.size)))
+            } else {
+                None
+            }
+        };
+        if let Some((pkt, tx_time)) = started {
             self.trace.push(t, TraceEvent::TxStart { ch: ch_id, pkt });
-            self.queue
-                .schedule_at(t + tx_time, Event::TxComplete(ch_id));
+            self.schedule_event(t + tx_time, Event::TxComplete(ch_id));
         }
     }
 
     fn tx_complete(&mut self, t: SimTime, ch_id: ChannelId) {
-        let ch = &mut self.channels[ch_id.0 as usize];
-        let (pkt, started) = ch.in_service.take().expect("TxComplete without tx");
-        ch.stats.busy += t.since(started);
-        ch.stats.tx_packets += 1;
-        ch.stats.tx_bytes += pkt.size as u64;
-        let qlen_after = ch.occupancy();
-        let delay = ch.delay;
-        // Fault decisions draw only from the channel's private stream
-        // (disjoint field borrow), never from the world's shared RNG.
-        let outcome = ch.fault.decide(t, delay, &mut ch.rng);
+        let (pkt, qlen_after, delay, outcome) = {
+            let ch = self.channels.get_mut(ch_id.0 as usize);
+            let (pkt, started) = ch.in_service.take().expect("TxComplete without tx");
+            ch.stats.busy += t.since(started);
+            ch.stats.tx_packets += 1;
+            ch.stats.tx_bytes += pkt.size as u64;
+            let qlen_after = ch.occupancy();
+            // Fault decisions draw only from the channel's private stream,
+            // never from the world's shared RNG.
+            let outcome = ch.fault.decide(t, ch.delay, &mut *ch.rng);
+            (pkt, qlen_after, ch.delay, outcome)
+        };
         self.trace.push(
             t,
             TraceEvent::TxEnd {
@@ -1298,81 +1644,82 @@ impl World {
                 duplicate,
             } => {
                 let arrival = t + delay + extra_delay;
-                self.queue
-                    .schedule_at(arrival, Event::Arrival { ch: ch_id, pkt });
+                self.deliver_or_export(arrival, ch_id, pkt);
                 if duplicate {
                     // The copy is a new packet from the network's point of
                     // view: conservation counts it as injected.
                     self.audit.on_inject();
-                    self.queue
-                        .schedule_at(arrival, Event::Arrival { ch: ch_id, pkt });
+                    self.deliver_or_export(arrival, ch_id, pkt);
                 }
             }
         }
         self.maybe_start_tx(t, ch_id);
     }
 
+    /// Route a surviving transmission to its arrival: the local queue, or
+    /// — when the channel's destination belongs to another shard — the
+    /// outbox for the executor to forward.
+    fn deliver_or_export(&mut self, arrival: SimTime, ch_id: ChannelId, pkt: Packet) {
+        let dst = self.channels.dst(ch_id.0 as usize);
+        if self
+            .remote_node
+            .get(dst.0 as usize)
+            .copied()
+            .unwrap_or(false)
+        {
+            self.outbox.push((arrival, ch_id, pkt));
+        } else {
+            self.schedule_event(arrival, Event::Arrival { ch: ch_id, pkt });
+        }
+    }
+
     fn arrival(&mut self, t: SimTime, ch_id: ChannelId, pkt: Packet) {
-        let node_id = self.channels[ch_id.0 as usize].dst;
-        match &mut self.nodes[node_id.0 as usize].kind {
-            NodeKind::Switch { routes } => {
-                let out = routes.get(&pkt.dst).copied();
-                match out {
-                    Some(out) => self.offer(t, out, pkt),
-                    None => panic!(
-                        "switch {} has no route to node {}",
-                        self.nodes[node_id.0 as usize].name, pkt.dst.0
-                    ),
-                }
+        let node_id = self.channels.dst(ch_id.0 as usize);
+        let ni = node_id.0 as usize;
+        if self.hosts.is_host(ni) {
+            debug_assert_eq!(pkt.dst, node_id, "packet delivered to wrong host");
+            self.hosts.proc_queue_mut(ni).push_back(pkt);
+            if !self.hosts.proc_busy(ni) {
+                self.hosts.set_proc_busy(ni, true);
+                let d = self.hosts.proc_delay(ni);
+                self.schedule_event(t + d, Event::HostProcess(node_id));
             }
-            NodeKind::Host {
-                proc_delay,
-                proc_queue,
-                proc_busy,
-                ..
-            } => {
-                debug_assert_eq!(pkt.dst, node_id, "packet delivered to wrong host");
-                proc_queue.push_back(pkt);
-                if !*proc_busy {
-                    *proc_busy = true;
-                    let d = *proc_delay;
-                    self.queue.schedule_at(t + d, Event::HostProcess(node_id));
-                }
+        } else {
+            let out = match &self.nodes[ni].kind {
+                NodeKind::Switch { routes } => routes.get(&pkt.dst).copied(),
+                NodeKind::Host { .. } => unreachable!("host row disagrees with node kind"),
+            };
+            match out {
+                Some(out) => self.offer(t, out, pkt),
+                None => panic!(
+                    "switch {} has no route to node {}",
+                    self.nodes[ni].name, pkt.dst.0
+                ),
             }
         }
     }
 
     fn host_process(&mut self, t: SimTime, node_id: NodeId) {
-        let (pkt, next_due) = match &mut self.nodes[node_id.0 as usize].kind {
-            NodeKind::Host {
-                proc_delay,
-                proc_queue,
-                proc_busy,
-                ..
-            } => {
-                let pkt = proc_queue
-                    .pop_front()
-                    .expect("HostProcess with empty queue");
-                if proc_queue.is_empty() {
-                    *proc_busy = false;
-                    (pkt, None)
-                } else {
-                    (pkt, Some(t + *proc_delay))
-                }
-            }
-            NodeKind::Switch { .. } => panic!("HostProcess on a switch"),
-        };
-        if let Some(due) = next_due {
-            self.queue.schedule_at(due, Event::HostProcess(node_id));
+        let ni = node_id.0 as usize;
+        let pkt = self
+            .hosts
+            .proc_queue_mut(ni)
+            .pop_front()
+            .expect("HostProcess with empty queue");
+        if self.hosts.proc_queue(ni).is_empty() {
+            self.hosts.set_proc_busy(ni, false);
+        } else {
+            let due = t + self.hosts.proc_delay(ni);
+            self.schedule_event(due, Event::HostProcess(node_id));
         }
         self.audit.on_deliver(t);
         self.trace
             .push(t, TraceEvent::Deliver { node: node_id, pkt });
-        let ep = match &self.nodes[node_id.0 as usize].kind {
+        let ep = match &self.nodes[ni].kind {
             NodeKind::Host { endpoints, .. } => *endpoints.get(&pkt.conn).unwrap_or_else(|| {
                 panic!(
                     "host {} has no endpoint for {:?}",
-                    self.nodes[node_id.0 as usize].name, pkt.conn
+                    self.nodes[ni].name, pkt.conn
                 )
             }),
             NodeKind::Switch { .. } => unreachable!(),
@@ -1462,8 +1809,19 @@ impl Ctx<'_> {
     ) -> PacketId {
         let t = self.now();
         let meta = &self.world.ep_meta[self.ep.0 as usize];
-        let id = PacketId(self.world.next_packet_id);
-        self.world.next_packet_id += 1;
+        // Canonical mode draws ids from the endpoint's own counter: the
+        // id then names (endpoint, nth send), the same on any sharding.
+        // A serial world keeps the legacy global counter.
+        let id = if self.world.canonical {
+            let ctr = &mut self.world.ep_packet_ctr[self.ep.0 as usize];
+            let id = PacketId(((u64::from(self.ep.0) + 1) << 40) | *ctr);
+            *ctr += 1;
+            id
+        } else {
+            let id = PacketId(self.world.next_packet_id);
+            self.world.next_packet_id += 1;
+            id
+        };
         let pkt = Packet {
             id,
             conn: meta.conn,
@@ -1503,10 +1861,10 @@ impl Ctx<'_> {
     /// Arm a timer that calls [`Endpoint::on_timer`] with `token` after
     /// `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        let at = self.world.queue.now() + delay;
         let id = self
             .world
-            .queue
-            .schedule_in(delay, Event::Timer { ep: self.ep, token });
+            .schedule_event(at, Event::Timer { ep: self.ep, token });
         TimerHandle(id)
     }
 
@@ -1528,12 +1886,14 @@ impl Ctx<'_> {
             .push(t, TraceEvent::Proto { conn, node, ev });
     }
 
-    /// Deterministic randomness (shared world stream).
+    /// Deterministic randomness (shared world stream). Not
+    /// shard-invariant: an endpoint drawing from the shared stream makes
+    /// its run depend on global event interleaving, so sharded workloads
+    /// must use endpoints that never call this (the TCP machines don't).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.world.rng
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
