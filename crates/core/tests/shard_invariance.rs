@@ -54,6 +54,73 @@ fn two_way_trunk(w: &mut World) {
     w.start_at(s1, SimTime::from_millis(7));
 }
 
+/// `two_way_trunk` with per-direction trunk delays (5 ms vs 50 ms). The
+/// cut is asymmetric, so each shard's safe horizon depends on reading the
+/// lookahead matrix in the right orientation — its incoming column, not
+/// its outgoing row. Regression for the transposed-lookahead bug, which
+/// symmetric duplex trunks cannot see.
+fn asymmetric_two_way_trunk(w: &mut World) {
+    let h = SimDuration::from_micros(100);
+    let a = w.add_host("A", h);
+    let sa = w.add_switch("SA");
+    let b = w.add_host("B", h);
+    let sb = w.add_switch("SB");
+    for (x, y) in [(a, sa), (b, sb)] {
+        for (src, dst) in [(x, y), (y, x)] {
+            w.add_channel(
+                src,
+                dst,
+                Rate::from_kbps(1000),
+                SimDuration::from_micros(100),
+                Some(20),
+                DisciplineKind::DropTail.build(),
+                FaultModel::NONE,
+            );
+        }
+    }
+    for (src, dst, ms) in [(sa, sb, 5), (sb, sa, 50)] {
+        w.add_channel(
+            src,
+            dst,
+            Rate::from_kbps(200),
+            SimDuration::from_millis(ms),
+            Some(20),
+            DisciplineKind::DropTail.build(),
+            FaultModel::NONE,
+        );
+    }
+    w.compute_routes();
+    let s0 = w.attach(a, b, ConnId(0), TcpSender::boxed(SenderConfig::paper()));
+    w.attach(b, a, ConnId(0), TcpReceiver::boxed(ReceiverConfig::paper()));
+    let s1 = w.attach(b, a, ConnId(1), TcpSender::boxed(SenderConfig::paper()));
+    w.attach(a, b, ConnId(1), TcpReceiver::boxed(ReceiverConfig::paper()));
+    w.start_at(s0, SimTime::from_millis(1));
+    w.start_at(s1, SimTime::from_millis(7));
+}
+
+#[test]
+fn tcp_asymmetric_trunk_is_shard_invariant() {
+    let t_end = SimTime::from_millis(1500);
+    let mut base = ShardedWorld::build(92, 1, asymmetric_two_way_trunk);
+    base.run_until(t_end);
+    let base_snap = base.snapshot();
+    assert!(base.audit().delivered() > 100, "workload barely ran");
+    for shards in [2, 4] {
+        let mut other = ShardedWorld::build(92, shards, asymmetric_two_way_trunk);
+        other.run_until(t_end);
+        assert_eq!(
+            base.trace().records(),
+            other.trace().records(),
+            "TCP trace differs at {shards} shards over an asymmetric cut"
+        );
+        assert_eq!(
+            base_snap.as_bytes(),
+            other.snapshot().as_bytes(),
+            "TCP snapshot differs at {shards} shards over an asymmetric cut"
+        );
+    }
+}
+
 #[test]
 fn tcp_two_way_traffic_is_shard_invariant() {
     let t_end = SimTime::from_millis(1500);

@@ -134,6 +134,15 @@ impl ChannelArena {
     pub fn delay(&self, i: usize) -> SimDuration {
         self.delay[i]
     }
+    pub fn rate(&self, i: usize) -> Rate {
+        self.rate[i]
+    }
+    pub fn capacity(&self, i: usize) -> Option<u32> {
+        self.capacity[i]
+    }
+    pub fn mark_threshold(&self, i: usize) -> Option<u32> {
+        self.mark_threshold[i]
+    }
     pub fn stats(&self, i: usize) -> ChannelStats {
         self.stats[i]
     }

@@ -142,9 +142,13 @@ impl ShardedWorld {
     ///
     /// # Panics
     ///
-    /// Panics if `shards == 0`, if `build_fn` is non-deterministic, or if
-    /// the partition would cut a zero-delay channel (the partitioner never
-    /// does; this guards direct misuse).
+    /// Panics if `shards == 0`, if `build_fn` is non-deterministic
+    /// (replicas are cross-checked by component counts plus a structural
+    /// digest over wiring, rates, delays, routes, fault plans, endpoint
+    /// placement and start times — see `World::structure_digest` for the
+    /// one blind spot, discipline parameters), or if the partition would
+    /// cut a zero-delay channel (the partitioner never does; this guards
+    /// direct misuse).
     pub fn build(seed: u64, shards: u32, build_fn: impl Fn(&mut World)) -> ShardedWorld {
         assert!(shards >= 1, "need at least one shard");
         let mut worlds = Vec::with_capacity(shards as usize);
@@ -159,12 +163,22 @@ impl ShardedWorld {
             worlds[0].channel_count(),
             worlds[0].endpoint_count(),
         );
+        // Counts catch gross divergence cheaply and give a better message;
+        // the structural digest then catches builders that keep the counts
+        // but vary wiring, rates, delays, routes, fault plans, endpoint
+        // placement, or start times between replicas.
+        let digest = worlds[0].structure_digest();
         for w in &worlds {
             assert!(
                 w.node_count() == n_nodes
                     && w.channel_count() == n_channels
                     && w.endpoint_count() == n_eps,
                 "world builder is non-deterministic: shard replicas disagree on topology size"
+            );
+            assert!(
+                w.structure_digest() == digest,
+                "world builder is non-deterministic: shard replicas disagree on structure \
+                 (same component counts, different configuration)"
             );
         }
 
@@ -289,8 +303,18 @@ impl ShardedWorld {
     /// Run every shard forward to `t_end` (inclusive), in parallel when
     /// more than one shard exists, then fold the shards' traces and audit
     /// state into the canonical merged views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end == SimTime::MAX`: the inclusive run bound needs
+    /// `t_end + 1` to be representable, and saturating instead would
+    /// silently exclude events at exactly `t_end`.
     pub fn run_until(&mut self, t_end: SimTime) {
-        let bound = SimTime::from_nanos(t_end.as_nanos().saturating_add(1));
+        assert!(
+            t_end < SimTime::MAX,
+            "run bound must be below SimTime::MAX for the inclusive +1 bound to be representable"
+        );
+        let bound = SimTime::from_nanos(t_end.as_nanos() + 1);
         if self.worlds.len() == 1 {
             self.worlds[0].run_before(bound);
         } else {
@@ -314,7 +338,17 @@ impl ShardedWorld {
             epoch: Mutex::new(0),
             wake: Condvar::new(),
         };
-        let lookahead = &self.lookahead;
+        // Each worker needs its *incoming* delays — column `i` of the
+        // lookahead matrix (`lookahead[j][i]` = min cut delay `j → i`),
+        // not row `i`, which holds the delays *out of* `i`. The two
+        // coincide only for symmetric cuts; per-direction delay
+        // differences or simplex cut channels make them differ, and
+        // handing a shard its row would let it run past events a
+        // neighbour can still deliver.
+        let d_in_cols: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..n).map(|j| self.lookahead[j][i]).collect())
+            .collect();
+        let d_in_cols = &d_in_cols;
         let ch_dst_shard = &self.ch_dst_shard;
 
         let worlds = std::mem::take(&mut self.worlds);
@@ -336,7 +370,7 @@ impl ShardedWorld {
                         telemetry::reset();
                         audit::reset_thread();
                         snapcount::reset_thread();
-                        run_shard(i, &mut w, shared, &lookahead[i], ch_dst_shard, t_end_n);
+                        run_shard(i, &mut w, shared, &d_in_cols[i], ch_dst_shard, t_end_n);
                         (
                             w,
                             telemetry::snapshot(),
@@ -415,7 +449,11 @@ fn causal_rank(ev: &TraceEvent) -> u8 {
     }
 }
 
-/// One shard's worker loop. See the module docs for the protocol; the
+/// One shard's worker loop. `d_in[j]` is the minimum delay over cut
+/// channels *from shard `j` into this shard* (the horizon formula's
+/// `d[j][i]` for fixed `i`), `u64::MAX` when `j` has no channel into us.
+///
+/// See the module docs for the protocol; the
 /// ordering subtlety worth restating: the horizon is computed from the
 /// neighbour bounds **before** draining the inbox. Reading the bounds
 /// first means any delivery that the freshly read bounds already account
@@ -926,6 +964,118 @@ mod tests {
         }
     }
 
+    /// Swallows every packet and never sends, so it needs no return route.
+    struct Sink {
+        got: u64,
+    }
+
+    impl Endpoint for Sink {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn save_state(&self, w: &mut SnapWriter) {
+            w.write_u64(self.got);
+        }
+        fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+            self.got = r.read_u64()?;
+            Ok(())
+        }
+    }
+
+    /// Like `two_clusters`, but the trunk's two directions have very
+    /// different delays (5 ms out, 50 ms back), making the cut — and the
+    /// lookahead matrix — asymmetric: the b-side shard may run only 5 ms
+    /// past the a-side's bound while the reverse direction allows 50 ms.
+    /// Regression for the transposed-lookahead bug, where each worker was
+    /// handed its outgoing row instead of its incoming column and the
+    /// b-side shard ran 45 ms further than the a-side could cover.
+    fn asymmetric_clusters(w: &mut World) {
+        let h = SimDuration::from_micros(100);
+        let a0 = w.add_host("a0", h);
+        let a1 = w.add_host("a1", h);
+        let s0 = w.add_switch("s0");
+        let b0 = w.add_host("b0", h);
+        let b1 = w.add_host("b1", h);
+        let s1 = w.add_switch("s1");
+        for (x, y) in [(a0, s0), (a1, s0), (b0, s1), (b1, s1)] {
+            for (src, dst) in [(x, y), (y, x)] {
+                w.add_channel(
+                    src,
+                    dst,
+                    Rate::from_kbps(1000),
+                    SimDuration::from_micros(100),
+                    Some(20),
+                    DisciplineKind::DropTail.build(),
+                    FaultModel::NONE,
+                );
+            }
+        }
+        for (src, dst, ms) in [(s0, s1, 5), (s1, s0, 50)] {
+            w.add_channel(
+                src,
+                dst,
+                Rate::from_kbps(400),
+                SimDuration::from_millis(ms),
+                Some(10),
+                DisciplineKind::DropTail.build(),
+                FaultModel::NONE,
+            );
+        }
+        w.compute_routes();
+        let c0 = w.attach(a0, b0, ConnId(0), Chatter::boxed());
+        w.attach(b0, a0, ConnId(0), Box::new(Acker));
+        let c1 = w.attach(b1, a1, ConnId(1), Chatter::boxed());
+        w.attach(a1, b1, ConnId(1), Box::new(Acker));
+        w.start_at(c0, SimTime::from_millis(1));
+        w.start_at(c1, SimTime::from_millis(2));
+    }
+
+    /// One-way traffic over a *simplex* trunk: the cut has channels in one
+    /// direction only, so the receiving shard is bounded by the sender's
+    /// clock while the sender is unbounded by the receiver. Regression for
+    /// the transposed-lookahead bug, where the receiving shard read its
+    /// (empty) outgoing direction, saw no constraint, ran straight to the
+    /// end bound, and the first cross-shard delivery landed in its past.
+    fn simplex_cut(w: &mut World) {
+        let h = SimDuration::from_micros(100);
+        let a0 = w.add_host("a0", h);
+        let s0 = w.add_switch("s0");
+        let b0 = w.add_host("b0", h);
+        let s1 = w.add_switch("s1");
+        for (x, y) in [(a0, s0), (b0, s1)] {
+            for (src, dst) in [(x, y), (y, x)] {
+                w.add_channel(
+                    src,
+                    dst,
+                    Rate::from_kbps(1000),
+                    SimDuration::from_micros(100),
+                    Some(20),
+                    DisciplineKind::DropTail.build(),
+                    FaultModel::NONE,
+                );
+            }
+        }
+        // The trunk exists s0 → s1 only.
+        w.add_channel(
+            s0,
+            s1,
+            Rate::from_kbps(400),
+            SimDuration::from_millis(5),
+            Some(10),
+            DisciplineKind::DropTail.build(),
+            FaultModel::NONE,
+        );
+        w.compute_routes();
+        let c0 = w.attach(a0, b0, ConnId(0), Chatter::boxed());
+        w.attach(b0, a0, ConnId(0), Box::new(Sink { got: 0 }));
+        w.start_at(c0, SimTime::from_millis(1));
+    }
+
     fn run_at(shards: u32, faulty: bool, t_end: SimTime) -> ShardedWorld {
         let mut sw = ShardedWorld::build(0xC0FFEE, shards, two_clusters(faulty));
         sw.run_until(t_end);
@@ -958,6 +1108,88 @@ mod tests {
             assert_eq!(base.audit().delivered(), other.audit().delivered());
             assert_eq!(base.audit().dropped(), other.audit().dropped());
         }
+    }
+
+    #[test]
+    fn asymmetric_trunk_delays_are_shard_invariant() {
+        let t = SimTime::from_millis(300);
+        let mut base = ShardedWorld::build(0xA5, 1, asymmetric_clusters);
+        base.run_until(t);
+        assert!(base.audit().delivered() > 0, "nothing crossed the trunk");
+        let base_snap = base.snapshot();
+        for n in [2, 4] {
+            let mut other = ShardedWorld::build(0xA5, n, asymmetric_clusters);
+            other.run_until(t);
+            assert_eq!(
+                base.trace().records(),
+                other.trace().records(),
+                "merged trace differs at {n} shards over an asymmetric cut"
+            );
+            assert_eq!(
+                base_snap.as_bytes(),
+                other.snapshot().as_bytes(),
+                "snapshot bytes differ at {n} shards over an asymmetric cut"
+            );
+        }
+    }
+
+    #[test]
+    fn simplex_cut_is_shard_invariant() {
+        let t = SimTime::from_millis(300);
+        let mut base = ShardedWorld::build(0x51, 1, simplex_cut);
+        base.run_until(t);
+        assert!(
+            base.audit().delivered() > 0,
+            "one-way traffic never crossed the trunk"
+        );
+        let base_snap = base.snapshot();
+        for n in [2, 4] {
+            let mut other = ShardedWorld::build(0x51, n, simplex_cut);
+            other.run_until(t);
+            assert_eq!(
+                base.trace().records(),
+                other.trace().records(),
+                "merged trace differs at {n} shards over a simplex cut"
+            );
+            assert_eq!(
+                base_snap.as_bytes(),
+                other.snapshot().as_bytes(),
+                "snapshot bytes differ at {n} shards over a simplex cut"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below SimTime::MAX")]
+    fn run_until_rejects_unrepresentable_bound() {
+        let mut sw = ShardedWorld::build(1, 1, two_clusters(false));
+        sw.run_until(SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on structure")]
+    fn build_rejects_same_size_nondeterministic_builders() {
+        // Counts match across replicas; only a channel delay varies — the
+        // structural digest has to catch it.
+        let calls = std::cell::Cell::new(0u64);
+        let _ = ShardedWorld::build(1, 2, |w: &mut World| {
+            let n = calls.get();
+            calls.set(n + 1);
+            let h = SimDuration::from_micros(100);
+            let a = w.add_host("a", h);
+            let s = w.add_switch("s");
+            for (src, dst) in [(a, s), (s, a)] {
+                w.add_channel(
+                    src,
+                    dst,
+                    Rate::from_kbps(1000),
+                    SimDuration::from_micros(100 + n),
+                    Some(20),
+                    DisciplineKind::DropTail.build(),
+                    FaultModel::NONE,
+                );
+            }
+        });
     }
 
     #[test]

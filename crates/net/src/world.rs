@@ -1361,6 +1361,84 @@ impl World {
         self.endpoints.len()
     }
 
+    /// FNV-1a digest of the built configuration: per-node kind, name and
+    /// processing delay; per-channel src/dst/rate/delay/capacity/mark
+    /// threshold, discipline kind and fault plan; switch routing tables;
+    /// per-endpoint (host, peer, conn); and the initial pending-event
+    /// population. [`crate::ShardedWorld::build`] compares this across
+    /// shard replicas to reject builders that vary wiring, delays, routes
+    /// or start times while keeping the component counts equal. Mutable
+    /// run state is excluded, and discipline *parameters* (e.g. RED
+    /// thresholds) are not visible through the trait, so a builder varying
+    /// only those still slips through.
+    pub(crate) fn structure_digest(&self) -> u64 {
+        fn fold_bytes(mut h: u64, b: &[u8]) -> u64 {
+            h = fnv(h, b.len() as u64);
+            for &x in b {
+                h = fnv(h, u64::from(x));
+            }
+            h
+        }
+        fn fold_opt_u32(h: u64, v: Option<u32>) -> u64 {
+            match v {
+                None => fnv(h, u64::MAX),
+                Some(x) => fnv(fnv(h, 1), u64::from(x)),
+            }
+        }
+        let mut h = FNV_OFFSET;
+        for (ni, node) in self.nodes.iter().enumerate() {
+            h = fnv(h, self.hosts.is_host(ni) as u64);
+            h = fnv(h, self.hosts.proc_delay(ni).as_nanos());
+            h = fold_bytes(h, node.name.as_bytes());
+            if let NodeKind::Switch { routes } = &node.kind {
+                let mut sorted: Vec<(u32, u32)> =
+                    routes.iter().map(|(d, c)| (d.0, c.0)).collect();
+                sorted.sort_unstable();
+                for (d, c) in sorted {
+                    h = fnv(fnv(h, u64::from(d)), u64::from(c));
+                }
+            }
+        }
+        for ci in 0..self.channels.len() {
+            h = fnv(h, u64::from(self.channels.src(ci).0));
+            h = fnv(h, u64::from(self.channels.dst(ci).0));
+            h = fnv(h, self.channels.rate(ci).bits_per_sec());
+            h = fnv(h, self.channels.delay(ci).as_nanos());
+            h = fold_opt_u32(h, self.channels.capacity(ci));
+            h = fold_opt_u32(h, self.channels.mark_threshold(ci));
+            h = fold_bytes(h, self.channels.discipline(ci).name().as_bytes());
+            let fp = self.channels.fault(ci);
+            h = fnv(h, fp.model.drop_prob.to_bits());
+            h = fnv(h, fp.model.corrupt_prob.to_bits());
+            h = fnv(h, fp.dup_prob.to_bits());
+            h = match &fp.burst {
+                None => fnv(h, 0),
+                Some(b) => fnv(
+                    fnv(fnv(fnv(h, 1), b.p_enter.to_bits()), b.p_exit.to_bits()),
+                    b.loss_bad.to_bits(),
+                ),
+            };
+            h = match &fp.jitter {
+                None => fnv(h, 0),
+                Some(j) => fnv(fnv(fnv(h, 1), j.prob.to_bits()), j.max_extra.as_nanos()),
+            };
+            h = fnv(h, fp.outages.len() as u64);
+            for o in &fp.outages {
+                h = fnv(fnv(h, o.down.as_nanos()), o.up.as_nanos());
+            }
+        }
+        for meta in &self.ep_meta {
+            h = fnv(h, u64::from(meta.host.0));
+            h = fnv(h, u64::from(meta.peer.0));
+            h = fnv(h, u64::from(meta.conn.0));
+        }
+        for (at, key, _, blob) in self.pending_event_blobs() {
+            h = fnv(fnv(h, at.as_nanos()), key);
+            h = fold_bytes(h, &blob);
+        }
+        h
+    }
+
     pub(crate) fn is_host_node(&self, ni: usize) -> bool {
         self.hosts.is_host(ni)
     }
