@@ -53,6 +53,7 @@ pub mod plot;
 pub mod series;
 pub mod sojourn;
 pub mod stats;
+pub mod stream;
 pub mod svg;
 pub mod sync;
 
@@ -67,5 +68,6 @@ pub use period::{autocorrelation, dominant_period, jain_fairness};
 pub use series::TimeSeries;
 pub use sojourn::{mean_ack_sojourn, sojourns, Sojourn};
 pub use stats::{mean, pearson, power_law_exponent, variance, RunningStats};
+pub use stream::{StreamAnalyzer, StreamMetrics, StreamSpec};
 pub use svg::SvgPlot;
 pub use sync::{classify_sync, SyncMode};

@@ -71,6 +71,11 @@ pub struct Summary {
     pub samples: usize,
     /// Body invocations per sample (calibrated batching factor).
     pub iters: u32,
+    /// Worker threads the measured body runs on (1 for serial bodies;
+    /// the shard count for sharded-executor benches). Structured here —
+    /// not embedded in the name — so regression tooling can relate a
+    /// sharded line to its serial baseline and to the host's `cores`.
+    pub threads: u32,
 }
 
 /// The benchmark registry and runner.
@@ -112,8 +117,21 @@ impl Harness {
     }
 
     /// Run one benchmark (skipped when a filter is set and doesn't match)
-    /// and print its line immediately.
+    /// and print its line immediately. For bodies that fan work out to
+    /// multiple threads, use [`Harness::bench_function_threads`] so the
+    /// thread count lands in the JSON.
     pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        self.bench_function_threads(name, 1, f);
+    }
+
+    /// [`Harness::bench_function`] with an explicit worker-thread count
+    /// recorded in the summary (and the JSON document).
+    pub fn bench_function_threads(
+        &mut self,
+        name: &str,
+        threads: u32,
+        f: impl FnOnce(&mut Bencher),
+    ) {
         if let Some(filt) = &self.filter {
             if !name.contains(filt.as_str()) {
                 return;
@@ -139,6 +157,7 @@ impl Harness {
             mean: total / sorted.len() as u32,
             samples: sorted.len(),
             iters: b.iters,
+            threads,
         };
         println!(
             "{:<48} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
@@ -158,17 +177,24 @@ impl Harness {
 
     /// Serialize the collected results as a machine-readable JSON document
     /// — the perf-trajectory format (`BENCH_*.json`) future sessions
-    /// regress against. Includes the git revision the numbers were taken
-    /// at (best-effort; `"unknown"` outside a work tree).
+    /// regress against. Schema 2: top-level `cores` (the host's available
+    /// parallelism when the numbers were taken) and per-bench `threads`
+    /// replace the `(cores=N)` suffix older files embedded in bench
+    /// names. Includes the git revision the numbers were taken at
+    /// (best-effort; `"unknown"` outside a work tree).
     pub fn to_json(&self) -> String {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 2,\n");
         out.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+        out.push_str(&format!("  \"cores\": {cores},\n"));
         out.push_str("  \"benches\": [\n");
         for (i, s) in self.results.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \
+                "    {{\"name\": \"{}\", \"threads\": {}, \"min_ns\": {}, \"median_ns\": {}, \
                  \"mean_ns\": {}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
                 s.name.replace('"', "'"),
+                s.threads,
                 s.min.as_nanos(),
                 s.median.as_nanos(),
                 s.mean.as_nanos(),

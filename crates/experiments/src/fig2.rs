@@ -32,7 +32,19 @@ pub fn scenario(seed: u64, duration_s: u64) -> Scenario {
 
 /// Run and evaluate the Figure 2 reproduction.
 pub fn report(seed: u64, duration_s: u64) -> Report {
-    let run = scenario(seed, duration_s).run();
+    report_mode(seed, duration_s, true)
+}
+
+/// The report with an explicit analysis path: `stream = true` computes
+/// the metrics online with the trace disabled (the registry default);
+/// `stream = false` is the legacy batch-from-trace path. Both render
+/// byte-identically (pinned by the `stream_parity` suite).
+#[doc(hidden)]
+pub fn report_mode(seed: u64, duration_s: u64, stream: bool) -> Report {
+    let mut sc = scenario(seed, duration_s);
+    sc.stream = stream;
+    sc.record_trace = !stream;
+    let run = sc.run();
     let mut rep = Report::new(
         "fig2",
         "One-way traffic: 3 connections, tau = 1 s, B = 20 (paper Fig. 2)",

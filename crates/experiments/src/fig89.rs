@@ -35,7 +35,20 @@ pub fn scenario(seed: u64, duration_s: u64, tau: SimDuration, w1: u64, w2: u64) 
 
 /// Run and evaluate the Figure 8 reproduction (small pipe).
 pub fn report_fig8(seed: u64, duration_s: u64) -> Report {
-    let run = scenario(seed, duration_s, SimDuration::from_millis(10), 30, 25).run();
+    report_fig8_mode(seed, duration_s, true)
+}
+
+/// Figure 8 with an explicit analysis path: `stream = true` computes the
+/// metrics online with the trace disabled (the registry default);
+/// `stream = false` is the legacy batch-from-trace path. Byte-identical
+/// either way (pinned by the `stream_parity` suite and the golden output
+/// hash, which covers this report).
+#[doc(hidden)]
+pub fn report_fig8_mode(seed: u64, duration_s: u64, stream: bool) -> Report {
+    let mut sc = scenario(seed, duration_s, SimDuration::from_millis(10), 30, 25);
+    sc.stream = stream;
+    sc.record_trace = !stream;
+    let run = sc.run();
     let mut rep = Report::new(
         "fig8",
         "Fixed windows 30/25, tau = 0.01 s, infinite buffers (paper Fig. 8)",
@@ -146,7 +159,16 @@ pub fn report_fig8(seed: u64, duration_s: u64) -> Report {
 
 /// Run and evaluate the Figure 9 reproduction (large pipe).
 pub fn report_fig9(seed: u64, duration_s: u64) -> Report {
-    let run = scenario(seed, duration_s, SimDuration::from_secs(1), 30, 25).run();
+    report_fig9_mode(seed, duration_s, true)
+}
+
+/// Figure 9 with an explicit analysis path; see [`report_fig8_mode`].
+#[doc(hidden)]
+pub fn report_fig9_mode(seed: u64, duration_s: u64, stream: bool) -> Report {
+    let mut sc = scenario(seed, duration_s, SimDuration::from_secs(1), 30, 25);
+    sc.stream = stream;
+    sc.record_trace = !stream;
+    let run = sc.run();
     let mut rep = Report::new(
         "fig9",
         "Fixed windows 30/25, tau = 1 s, infinite buffers (paper Fig. 9)",

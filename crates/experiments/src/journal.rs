@@ -50,8 +50,10 @@ pub const JOURNAL_FILE: &str = "journal.tdj";
 
 /// Magic prefix of every journal record payload.
 const MAGIC: &[u8; 4] = b"TDJL";
-/// Journal format version. Readers refuse anything newer.
-const VERSION: u32 = 1;
+/// Journal format version. Readers refuse anything newer; v1 cells
+/// (written before `peak_rss_kib` existed) still decode, with the
+/// missing field defaulting to 0.
+const VERSION: u32 = 2;
 
 const TAG_HEADER: u8 = 0;
 const TAG_CELL: u8 = 1;
@@ -295,6 +297,7 @@ fn encode_cell(res: &ExperimentResult) -> Vec<u8> {
     w.write_u64(res.timing.events_scheduled);
     w.write_u64(res.timing.events_dispatched);
     w.write_u64(res.timing.peak_queue_depth as u64);
+    w.write_u64(res.timing.peak_rss_kib);
     w.write_u64(res.audit.total);
     w.write_u64(res.audit.reports.len() as u64);
     for msg in &res.audit.reports {
@@ -306,7 +309,7 @@ fn encode_cell(res: &ExperimentResult) -> Vec<u8> {
 
 fn decode_cell(bytes: &[u8]) -> Result<JournalCell, SnapError> {
     let mut r = SnapReader::new(bytes);
-    expect_journal_record(&mut r, TAG_CELL)?;
+    let version = expect_journal_record(&mut r, TAG_CELL)?;
     let id = r.read_str()?;
     let replicate = r.read_u64()?;
     let seed = r.read_u64()?;
@@ -320,6 +323,7 @@ fn decode_cell(bytes: &[u8]) -> Result<JournalCell, SnapError> {
         events_scheduled: r.read_u64()?,
         events_dispatched: r.read_u64()?,
         peak_queue_depth: r.read_u64()? as usize,
+        peak_rss_kib: if version >= 2 { r.read_u64()? } else { 0 },
     };
     let total = r.read_u64()?;
     let n_reports = r.read_u64()?;
@@ -340,7 +344,7 @@ fn decode_cell(bytes: &[u8]) -> Result<JournalCell, SnapError> {
     })
 }
 
-fn expect_journal_record(r: &mut SnapReader<'_>, want_tag: u8) -> Result<(), SnapError> {
+fn expect_journal_record(r: &mut SnapReader<'_>, want_tag: u8) -> Result<u32, SnapError> {
     let version = r.expect_header(MAGIC)?;
     if version > VERSION {
         return Err(SnapError::UnsupportedVersion(version));
@@ -351,7 +355,7 @@ fn expect_journal_record(r: &mut SnapReader<'_>, want_tag: u8) -> Result<(), Sna
             "journal record tag {tag}, expected {want_tag}"
         )));
     }
-    Ok(())
+    Ok(version)
 }
 
 fn write_report(w: &mut SnapWriter, rep: &Report) {
@@ -483,6 +487,7 @@ mod tests {
                 events_scheduled: 100,
                 events_dispatched: 90,
                 peak_queue_depth: 12,
+                peak_rss_kib: 4096,
             },
             audit: Tally {
                 total: 1,
@@ -513,6 +518,7 @@ mod tests {
         assert_eq!(c.panic, None);
         assert_eq!(c.timing.events_dispatched, 90);
         assert_eq!(c.timing.peak_queue_depth, 12);
+        assert_eq!(c.timing.peak_rss_kib, 4096);
         assert_eq!(c.audit.total, 1);
         assert_eq!(c.audit.reports, vec!["violation".to_owned()]);
         assert_eq!(c.report.rows.len(), want.report.rows.len());
@@ -525,6 +531,33 @@ mod tests {
         assert_eq!(c.report.diagnostics, want.report.diagnostics);
         assert_eq!(cells[1].panic.as_deref(), Some("boom \"quoted\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A journal written before v2 (no `peak_rss_kib` in cell records)
+    /// must still load, with the missing field defaulting to 0.
+    #[test]
+    fn v1_cells_still_decode() {
+        let want = sample_result(0);
+        let mut w = SnapWriter::with_header(MAGIC, 1);
+        w.write_u8(TAG_CELL);
+        w.write_str(want.id);
+        w.write_u64(want.replicate);
+        w.write_u64(want.seed);
+        w.write_bool(false);
+        w.write_f64(want.timing.wall_s);
+        w.write_u64(want.timing.events_scheduled);
+        w.write_u64(want.timing.events_dispatched);
+        w.write_u64(want.timing.peak_queue_depth as u64);
+        w.write_u64(want.audit.total);
+        w.write_u64(want.audit.reports.len() as u64);
+        for msg in &want.audit.reports {
+            w.write_str(msg);
+        }
+        write_report(&mut w, &want.report);
+        let cell = decode_cell(&w.into_bytes()).unwrap();
+        assert_eq!(cell.id, want.id);
+        assert_eq!(cell.timing.peak_queue_depth, want.timing.peak_queue_depth);
+        assert_eq!(cell.timing.peak_rss_kib, 0, "v1 default");
     }
 
     #[test]

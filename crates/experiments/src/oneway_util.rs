@@ -25,6 +25,20 @@ pub fn scenario(seed: u64, duration_s: u64, tau: SimDuration, buffer: u32) -> Sc
 
 /// Run and evaluate the one-way utilization table.
 pub fn report(seed: u64, duration_s: u64) -> Report {
+    report_mode(seed, duration_s, true)
+}
+
+/// The report with an explicit analysis path: `stream = true` computes
+/// the metrics online with the trace disabled (the registry default);
+/// `stream = false` is the legacy batch-from-trace path. Both render
+/// byte-identically (pinned by the `stream_parity` suite).
+#[doc(hidden)]
+pub fn report_mode(seed: u64, duration_s: u64, stream: bool) -> Report {
+    let run_sc = |mut sc: Scenario| {
+        sc.stream = stream;
+        sc.record_trace = !stream;
+        sc.run()
+    };
     let mut rep = Report::new(
         "tbl-oneway-util",
         "One-way utilization vs pipe and buffer size (paper §3.1 in-text)",
@@ -32,7 +46,7 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     );
 
     // Small pipe → ~100 %.
-    let small = scenario(seed, duration_s, SimDuration::from_millis(10), 20).run();
+    let small = run_sc(scenario(seed, duration_s, SimDuration::from_millis(10), 20));
     let u_small = small.util12();
     rep.check(
         "utilization, tau = 0.01 s, B = 20",
@@ -42,7 +56,7 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     );
 
     // Large pipe, B = 20 → ~90 %.
-    let base = scenario(seed, duration_s, SimDuration::from_secs(1), 20).run();
+    let base = run_sc(scenario(seed, duration_s, SimDuration::from_secs(1), 20));
     let u_base = base.util12();
     rep.check(
         "utilization, tau = 1 s, B = 20",
@@ -56,13 +70,12 @@ pub fn report(seed: u64, duration_s: u64) -> Report {
     for buffer in [10u32, 20, 40, 80] {
         // Cycle length grows with the buffer; scale the run to keep the
         // number of cycles comparable.
-        let run = scenario(
+        let run = run_sc(scenario(
             seed,
             duration_s * buffer as u64 / 20,
             SimDuration::from_secs(1),
             buffer,
-        )
-        .run();
+        ));
         let idle = 1.0 - run.util12();
         rep.info(
             &format!("idle fraction, tau = 1 s, B = {buffer}"),

@@ -163,9 +163,19 @@ pub fn registry() -> Vec<Entry> {
     ]
 }
 
-/// Look up one experiment by id.
+/// Entries addressable with `--only` but excluded from `--all`:
+/// resource-budget drills rather than paper claims.
+pub fn hidden() -> Vec<Entry> {
+    vec![Entry {
+        id: "scale100k",
+        about: "100k-connection rung: 640-cluster chain, trace off, pinned RSS budget",
+        runner: crate::scale::report_100k,
+    }]
+}
+
+/// Look up one experiment by id, including hidden entries.
 pub fn find(id: &str) -> Option<Entry> {
-    registry().into_iter().find(|e| e.id == id)
+    registry().into_iter().chain(hidden()).find(|e| e.id == id)
 }
 
 #[cfg(test)]
@@ -175,6 +185,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique() {
         let mut ids: Vec<_> = registry().iter().map(|e| e.id).collect();
+        ids.extend(hidden().iter().map(|e| e.id));
         let n = ids.len();
         ids.sort();
         ids.dedup();
@@ -186,6 +197,9 @@ mod tests {
     fn find_works() {
         assert!(find("fig2").is_some());
         assert!(find("nonsense").is_none());
+        // Hidden entries resolve by id but stay out of the listing.
+        assert!(find("scale100k").is_some());
+        assert!(registry().iter().all(|e| e.id != "scale100k"));
     }
 
     #[test]

@@ -144,6 +144,26 @@ pub struct Timing {
     pub events_dispatched: u64,
     /// Largest pending-event set any of its queues ever held.
     pub peak_queue_depth: usize,
+    /// Process peak-RSS high-water mark (`VmHWM`, KiB) sampled when the
+    /// cell finished. This is a *process-wide* monotone watermark, not a
+    /// per-cell delta — in a parallel batch it tells you which cell first
+    /// pushed the process to a given footprint, and for a single
+    /// experiment (`--only scale100k`) it is the machine-checked memory
+    /// budget. 0 where `/proc/self/status` is unavailable.
+    pub peak_rss_kib: u64,
+}
+
+/// The process's peak resident-set size in KiB: `VmHWM` from
+/// `/proc/self/status` on Linux, 0 elsewhere.
+pub fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// One executed (experiment, replicate) cell.
@@ -299,7 +319,7 @@ impl BatchResult {
                 "    {{\"id\": \"{}\", \"replicate\": {}, \"seed\": {}, \"ok\": {}, \
                  \"panic\": {panic}, \
                  \"wall_s\": {:.6}, \"events_scheduled\": {}, \"events_dispatched\": {}, \
-                 \"peak_queue_depth\": {}, \
+                 \"peak_queue_depth\": {}, \"peak_rss_kib\": {}, \
                  \"audit_violations\": {}, \"audit\": {audit}, \
                  \"snapshots_taken\": {}, \"snapshots_restored\": {}, \
                  \"replayed\": {}, \
@@ -312,6 +332,7 @@ impl BatchResult {
                 t.events_scheduled,
                 t.events_dispatched,
                 t.peak_queue_depth,
+                t.peak_rss_kib,
                 r.audit.total,
                 r.snap.taken,
                 r.snap.restored,
@@ -552,6 +573,7 @@ pub fn run_batch_resumable(
                             events_scheduled: telem.events_scheduled,
                             events_dispatched: telem.events_dispatched,
                             peak_queue_depth: telem.peak_queue_depth,
+                            peak_rss_kib: peak_rss_kib(),
                         },
                         audit,
                         snap,

@@ -24,7 +24,9 @@ use std::cell::RefCell;
 use crate::registry::Profile;
 use crate::report::Report;
 use crate::scenario::DATA_SERVICE;
-use td_analysis::{compression, queue_series, utilization_in};
+use td_analysis::{
+    compression, queue_series, utilization_in, StreamAnalyzer, StreamMetrics, StreamSpec,
+};
 use td_core::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use td_engine::{Rate, SimDuration, SimRng, SimTime};
 use td_net::{
@@ -80,6 +82,23 @@ impl ScaleParams {
     pub fn total_conns(&self) -> u64 {
         self.clusters as u64 * u64::from(self.conns_per_cluster)
             + (self.clusters as u64 - 1) * u64::from(self.inter_conns)
+    }
+
+    /// Dimensions of the 100k-connection rung (ROADMAP item 1): a
+    /// 640-cluster chain, 102 396 connections, trace off, audit on,
+    /// streaming metrics only. The quick profile is the 1 s CI smoke run
+    /// under the pinned RSS budget (see EXPERIMENTS.md).
+    pub fn rung_100k(p: Profile) -> ScaleParams {
+        ScaleParams {
+            clusters: 640,
+            conns_per_cluster: 156,
+            inter_conns: 4,
+            duration_s: match p {
+                Profile::Quick => 1,
+                Profile::Full => 5,
+            },
+            trace: false,
+        }
     }
 }
 
@@ -200,26 +219,99 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
 /// Build and run the chain at the process-wide shard count, returning
 /// the finished sharded world and the probe channel map.
 pub fn run_chain(seed: u64, p: &ScaleParams) -> (ShardedWorld, ScaleMap, SimTime, SimTime) {
+    let (sw, map, t0, t1, _) = run_chain_mode(seed, p, false);
+    (sw, map, t0, t1)
+}
+
+/// [`run_chain`] with optional streaming metrics: when `stream` is set,
+/// one [`StreamAnalyzer`] rides each shard (canonical-ties mode, so its
+/// folds see same-instant records in merged-trace order) and the merged
+/// metrics come back alongside the world. This is what lets the trace-off
+/// profiles measure the probe-trunk fluctuation and long-haul utilization
+/// without storing a single trace record.
+pub fn run_chain_mode(
+    seed: u64,
+    p: &ScaleParams,
+    stream: bool,
+) -> (
+    ShardedWorld,
+    ScaleMap,
+    SimTime,
+    SimTime,
+    Option<StreamMetrics>,
+) {
     let map_cell: RefCell<Option<ScaleMap>> = RefCell::new(None);
     let mut sw = ShardedWorld::build(seed, crate::shards(), |w| {
         let m = build_chain(w, seed, p);
         map_cell.borrow_mut().get_or_insert(m);
     });
     sw.set_trace_enabled(p.trace);
-    let t1 = SimTime::from_secs(p.duration_s);
-    sw.run_until(t1);
     let map = map_cell.into_inner().expect("builder ran at least once");
+    let t1 = SimTime::from_secs(p.duration_s);
     let t0 = SimTime::from_secs(p.duration_s / 5);
-    (sw, map, t0, t1)
+    if stream {
+        let mut spec = StreamSpec::new().queue(map.probe_trunk).canonical_ties();
+        if let Some(lh) = map.long_haul {
+            spec = spec.utilization(lh, t0, t1);
+        }
+        sw.add_observers(|_| Box::new(StreamAnalyzer::new(&spec)));
+    }
+    sw.run_until(t1);
+    let metrics = if stream {
+        let parts = sw
+            .take_observers()
+            .into_iter()
+            .map(|o| {
+                *o.into_any()
+                    .downcast::<StreamAnalyzer>()
+                    .expect("scale observers are StreamAnalyzers")
+            })
+            .collect();
+        Some(StreamAnalyzer::merge(parts).finish())
+    } else {
+        None
+    };
+    (sw, map, t0, t1, metrics)
 }
 
 /// Run and evaluate the scale experiment.
 pub fn report(seed: u64, profile: Profile) -> Report {
+    report_mode(seed, profile, true)
+}
+
+/// The scale report with an explicit analysis path; `stream = false` is
+/// the legacy batch-from-trace path (kept alive by the parity suite).
+#[doc(hidden)]
+pub fn report_mode(seed: u64, profile: Profile, stream: bool) -> Report {
     let p = ScaleParams::for_profile(profile);
-    let (sw, map, t0, t1) = run_chain(seed, &p);
-    let mut rep = Report::new(
+    report_params(
+        seed,
+        &p,
+        stream,
         "tbl-scale",
         "Cluster chain of §5 four-switch units (sharded executor)",
+    )
+}
+
+/// The 100k-connection rung: [`ScaleParams::rung_100k`] rendered under
+/// its own id. Hidden from `--all` (it is a resource-budget drill, not a
+/// paper claim) but addressable via `td-repro --only scale100k`.
+pub fn report_100k(seed: u64, profile: Profile) -> Report {
+    let p = ScaleParams::rung_100k(profile);
+    report_params(
+        seed,
+        &p,
+        true,
+        "scale100k",
+        "100k-connection rung: 640-cluster chain, trace off, streaming metrics",
+    )
+}
+
+fn report_params(seed: u64, p: &ScaleParams, stream: bool, id: &str, title: &str) -> Report {
+    let (sw, map, t0, t1, metrics) = run_chain_mode(seed, p, stream);
+    let mut rep = Report::new(
+        id,
+        title,
         &format!(
             "seed {seed}, {} clusters, {} connections, {} s simulated",
             p.clusters,
@@ -252,18 +344,42 @@ pub fn report(seed: u64, profile: Profile) -> Report {
     rep.metric("delivered", audit.delivered() as f64);
     rep.metric("dropped", audit.dropped() as f64);
 
-    if p.trace {
-        // §5's signature phenomenon survives inside a cluster.
-        let qs = queue_series(sw.trace(), map.probe_trunk);
-        let fl = compression::queue_fluctuation(&qs, t0, t1, DATA_SERVICE);
-        rep.check(
-            "cluster-0 middle-trunk queue fluctuation",
-            "rapid fluctuations (ACK compression, §5)",
-            format!("{fl:.0} packets per service time"),
-            fl >= 3.0,
-        );
-        if let Some(lh) = map.long_haul {
-            let u = utilization_in(sw.trace(), lh, t0, t1);
+    // §5's signature phenomenon survives inside a cluster — measured
+    // online when streaming, from the stored trace otherwise. The two
+    // paths are byte-identical (pinned by the parity suite), so with
+    // streaming on the check now also runs on trace-off profiles.
+    let qs = match &metrics {
+        Some(m) => Some(m.queue(map.probe_trunk).clone()),
+        None if p.trace => Some(queue_series(sw.trace(), map.probe_trunk)),
+        None => None,
+    };
+    if let Some(qs) = &qs {
+        let fl = compression::queue_fluctuation(qs, t0, t1, DATA_SERVICE);
+        // Connections start with up to 1 s of jitter, so sub-5 s smoke
+        // runs (the 100k CI rung) haven't reached steady-state dynamics
+        // yet: report the number without passing judgement on it.
+        if p.duration_s >= 5 {
+            rep.check(
+                "cluster-0 middle-trunk queue fluctuation",
+                "rapid fluctuations (ACK compression, §5)",
+                format!("{fl:.0} packets per service time"),
+                fl >= 3.0,
+            );
+        } else {
+            rep.info(
+                "cluster-0 middle-trunk queue fluctuation",
+                "-",
+                format!("{fl:.0} packets per service time (window too short to judge)"),
+            );
+        }
+    }
+    if let Some(lh) = map.long_haul {
+        let u = match &metrics {
+            Some(m) => Some(m.utilization(lh)),
+            None if p.trace => Some(utilization_in(sw.trace(), lh, t0, t1)),
+            None => None,
+        };
+        if let Some(u) = u {
             rep.check(
                 "first long-haul trunk utilization",
                 "cut carries real traffic",
@@ -271,6 +387,8 @@ pub fn report(seed: u64, profile: Profile) -> Report {
                 u > 0.05,
             );
         }
+    }
+    if p.trace {
         // Golden hash over the canonical trace encoding: equal for every
         // shard count, pinned by the shard-determinism CI job.
         let h = fnv1a(
@@ -282,8 +400,8 @@ pub fn report(seed: u64, profile: Profile) -> Report {
         rep.info("merged trace FNV-1a (times)", "-", format!("{h:#018x}"));
     } else {
         rep.diagnostic(format!(
-            "trace disabled at {} connections; audit counters above are the \
-             deterministic surface",
+            "trace disabled at {} connections; audit counters and streamed \
+             metrics above are the deterministic surface",
             p.total_conns()
         ));
     }
@@ -306,5 +424,25 @@ mod tests {
         assert_eq!(serial.to_string(), sharded.to_string());
         assert_eq!(serial.markdown_table(), sharded.markdown_table());
         assert!(serial.all_ok(), "scale quick checks failed: {serial}");
+    }
+
+    /// Streaming folds must reproduce the batch-from-trace rows byte for
+    /// byte on the sharded chain (trace on, both paths live), at more
+    /// than one shard count — this is where canonical-ties buffering
+    /// earns its keep.
+    #[test]
+    fn quick_report_stream_matches_batch() {
+        for shards in [1, 2] {
+            crate::set_shards(shards);
+            let batch = report_mode(7, Profile::Quick, false);
+            let stream = report_mode(7, Profile::Quick, true);
+            crate::set_shards(1);
+            assert_eq!(
+                batch.to_string(),
+                stream.to_string(),
+                "scale stream/batch divergence at {shards} shard(s)"
+            );
+            assert_eq!(batch.metrics, stream.metrics);
+        }
     }
 }

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use td_analysis::{
     clustering_coefficient, cwnd_series, departures, drop_events, queue_series, utilization_in,
-    TimeSeries,
+    StreamAnalyzer, StreamMetrics, StreamSpec, TimeSeries,
 };
 use td_core::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use td_engine::{Rate, SimDuration, SimRng, SimTime};
@@ -87,6 +87,14 @@ pub struct Scenario {
     /// with this watchdog and [`Run::outcome`] carries the verdict;
     /// when `None` the run uses the plain time-bounded loop.
     pub watchdog: Option<WatchdogConfig>,
+    /// Compute the standard measurements online via a
+    /// [`StreamAnalyzer`] observer instead of (or in addition to) the
+    /// trace: [`Run`]'s analysis methods then read the streamed values.
+    /// Combined with `record_trace = false` this is the trace-free hot
+    /// path — run memory stays O(live state + computed series) instead
+    /// of O(events). The streamed values are byte-identical to the
+    /// trace-backed ones (pinned by the `stream_parity` suite).
+    pub stream: bool,
 }
 
 impl Scenario {
@@ -108,6 +116,7 @@ impl Scenario {
             fault_fwd: FaultPlan::NONE,
             fault_rev: FaultPlan::NONE,
             watchdog: None,
+            stream: false,
         }
     }
 
@@ -230,6 +239,32 @@ impl Scenario {
             rev_conns.push(c);
             conns.push(c);
         }
+        if self.stream {
+            // The superset every `Run` analysis method may ask for: both
+            // bottleneck queue series and utilizations, every
+            // connection's cwnd, all drops, and the 1→2 departures that
+            // clustering reads. Emission order *is* trace order on a
+            // plain serial world, so no canonical-ties buffering.
+            let mut spec = StreamSpec::new()
+                .queue(d.bottleneck_12)
+                .queue(d.bottleneck_21)
+                .utilization(
+                    d.bottleneck_12,
+                    SimTime::ZERO + self.warmup,
+                    SimTime::ZERO + self.duration,
+                )
+                .utilization(
+                    d.bottleneck_21,
+                    SimTime::ZERO + self.warmup,
+                    SimTime::ZERO + self.duration,
+                )
+                .drops()
+                .departures(d.bottleneck_12);
+            for &c in &conns {
+                spec = spec.cwnd(c);
+            }
+            d.world.add_observer(Box::new(StreamAnalyzer::new(&spec)));
+        }
         Run {
             world: d.world,
             host1: d.host1,
@@ -243,6 +278,7 @@ impl Scenario {
             senders,
             receivers,
             outcome: None,
+            stream: None,
         }
     }
 
@@ -259,6 +295,16 @@ impl Scenario {
                 None
             }
         };
+        if self.stream {
+            let mut obs = run.world.take_observers();
+            let an = *obs
+                .pop()
+                .expect("stream scenario lost its observer")
+                .into_any()
+                .downcast::<StreamAnalyzer>()
+                .expect("observer is a StreamAnalyzer");
+            run.stream = Some(an.finish());
+        }
     }
 }
 
@@ -289,6 +335,9 @@ pub struct Run {
     /// Watchdog verdict when the scenario ran under one (`None` when
     /// [`Scenario::watchdog`] was unset).
     pub outcome: Option<RunOutcome>,
+    /// Streamed measurements, when [`Scenario::stream`] was set. The
+    /// analysis methods below read these in preference to the trace.
+    pub stream: Option<StreamMetrics>,
 }
 
 impl Run {
@@ -299,17 +348,26 @@ impl Run {
 
     /// Queue-length series at switch 1's bottleneck buffer.
     pub fn queue1(&self) -> TimeSeries {
-        queue_series(self.world.trace(), self.bottleneck_12)
+        match &self.stream {
+            Some(m) => m.queue(self.bottleneck_12).clone(),
+            None => queue_series(self.world.trace(), self.bottleneck_12),
+        }
     }
 
     /// Queue-length series at switch 2's bottleneck buffer.
     pub fn queue2(&self) -> TimeSeries {
-        queue_series(self.world.trace(), self.bottleneck_21)
+        match &self.stream {
+            Some(m) => m.queue(self.bottleneck_21).clone(),
+            None => queue_series(self.world.trace(), self.bottleneck_21),
+        }
     }
 
     /// cwnd series of one connection.
     pub fn cwnd(&self, conn: ConnId) -> TimeSeries {
-        cwnd_series(self.world.trace(), conn)
+        match &self.stream {
+            Some(m) => m.cwnd(conn).clone(),
+            None => cwnd_series(self.world.trace(), conn),
+        }
     }
 
     /// Batched trace analysis: both bottleneck queue series as
@@ -318,6 +376,9 @@ impl Run {
     /// byte-identical to two sequential calls (which is why the
     /// golden-hash-pinned fixed-window figures may use it).
     pub fn queues(&self) -> (TimeSeries, TimeSeries) {
+        if self.stream.is_some() {
+            return (self.queue1(), self.queue2());
+        }
         let trace = self.world.trace();
         let chans = [self.bottleneck_12, self.bottleneck_21];
         let mut out =
@@ -340,6 +401,9 @@ impl Run {
         a: ConnId,
         b: ConnId,
     ) -> (TimeSeries, TimeSeries, TimeSeries, TimeSeries) {
+        if self.stream.is_some() {
+            return (self.queue1(), self.queue2(), self.cwnd(a), self.cwnd(b));
+        }
         enum Job {
             Queue(ChannelId),
             Cwnd(ConnId),
@@ -366,21 +430,35 @@ impl Run {
 
     /// Windowed utilization of the 1→2 bottleneck line.
     pub fn util12(&self) -> f64 {
-        utilization_in(self.world.trace(), self.bottleneck_12, self.t0, self.t1)
+        match &self.stream {
+            Some(m) => m.utilization(self.bottleneck_12),
+            None => utilization_in(self.world.trace(), self.bottleneck_12, self.t0, self.t1),
+        }
     }
 
     /// Windowed utilization of the 2→1 bottleneck line.
     pub fn util21(&self) -> f64 {
-        utilization_in(self.world.trace(), self.bottleneck_21, self.t0, self.t1)
+        match &self.stream {
+            Some(m) => m.utilization(self.bottleneck_21),
+            None => utilization_in(self.world.trace(), self.bottleneck_21, self.t0, self.t1),
+        }
     }
 
     /// All drops (both bottleneck directions) within the measurement
     /// window.
     pub fn drops(&self) -> Vec<td_analysis::DropEvent> {
-        drop_events(self.world.trace())
-            .into_iter()
-            .filter(|d| d.t >= self.t0 && d.t <= self.t1)
-            .collect()
+        match &self.stream {
+            Some(m) => m
+                .drops()
+                .iter()
+                .filter(|d| d.t >= self.t0 && d.t <= self.t1)
+                .copied()
+                .collect(),
+            None => drop_events(self.world.trace())
+                .into_iter()
+                .filter(|d| d.t >= self.t0 && d.t <= self.t1)
+                .collect(),
+        }
     }
 
     /// Clustering coefficient of data-packet departures on the 1→2
@@ -402,11 +480,26 @@ impl Run {
     }
 
     /// Clustering coefficient at any channel, optionally data-only.
+    /// (Streaming runs register departures for the 1→2 bottleneck only —
+    /// the channel the paper's clustering claims are about.)
     pub fn clustering_at(&self, ch: ChannelId, data_only: bool) -> Option<f64> {
-        let deps: Vec<_> = departures(self.world.trace(), ch)
-            .into_iter()
-            .filter(|d| d.t >= self.t0 && d.t <= self.t1 && (!data_only || d.pkt.is_data()))
-            .collect();
+        let deps: Vec<_> = match &self.stream {
+            Some(m) => {
+                assert_eq!(
+                    ch, self.bottleneck_12,
+                    "streaming runs collect departures for the 1→2 bottleneck only"
+                );
+                m.departures(ch)
+                    .iter()
+                    .filter(|d| d.t >= self.t0 && d.t <= self.t1 && (!data_only || d.pkt.is_data()))
+                    .copied()
+                    .collect()
+            }
+            None => departures(self.world.trace(), ch)
+                .into_iter()
+                .filter(|d| d.t >= self.t0 && d.t <= self.t1 && (!data_only || d.pkt.is_data()))
+                .collect(),
+        };
         clustering_coefficient(&deps)
     }
 

@@ -1,0 +1,134 @@
+//! Streaming/batch parity: every experiment converted to the trace-free
+//! streaming path must render **byte-identically** to the legacy
+//! batch-from-trace path — same check rows, same plots, same SVG/CSV
+//! artifacts, same machine-readable metrics. This is the contract that
+//! lets the registry run trace-off by default while the golden output
+//! hash (which predates streaming) stays valid.
+
+use td_experiments::{fig2, fig89, oneway_util, report::Report, scenario};
+
+/// Byte-compare everything a report can emit.
+fn assert_reports_identical(batch: &Report, stream: &Report, what: &str) {
+    assert_eq!(
+        format!("{batch}"),
+        format!("{stream}"),
+        "{what}: rendered report differs between batch and streaming"
+    );
+    assert_eq!(batch.csvs, stream.csvs, "{what}: CSV exports differ");
+    assert_eq!(batch.blobs, stream.blobs, "{what}: blob exports differ");
+    assert_eq!(batch.plots, stream.plots, "{what}: plots differ");
+    assert_eq!(batch.metrics, stream.metrics, "{what}: metrics differ");
+    assert_eq!(
+        batch.diagnostics, stream.diagnostics,
+        "{what}: diagnostics differ"
+    );
+}
+
+#[test]
+fn fig8_stream_matches_batch() {
+    let batch = fig89::report_fig8_mode(1, 80, false);
+    let stream = fig89::report_fig8_mode(1, 80, true);
+    assert_reports_identical(&batch, &stream, "fig8");
+}
+
+#[test]
+fn fig9_stream_matches_batch() {
+    let batch = fig89::report_fig9_mode(1, 120, false);
+    let stream = fig89::report_fig9_mode(1, 120, true);
+    assert_reports_identical(&batch, &stream, "fig9");
+}
+
+#[test]
+fn oneway_util_stream_matches_batch() {
+    let batch = oneway_util::report_mode(1, 100, false);
+    let stream = oneway_util::report_mode(1, 100, true);
+    assert_reports_identical(&batch, &stream, "tbl-oneway-util");
+}
+
+#[test]
+fn fig2_stream_matches_batch() {
+    let batch = fig2::report_mode(1, 300, false);
+    let stream = fig2::report_mode(1, 300, true);
+    assert_reports_identical(&batch, &stream, "fig2");
+}
+
+/// Both paths live on one run: a scenario with the trace *on* and
+/// streaming *on* must agree with itself measurement by measurement —
+/// the fold-vs-extractor equality on a real TCP trace, bit for bit.
+#[test]
+fn streamed_run_agrees_with_its_own_trace() {
+    let mut sc = fig2::scenario(3, 120);
+    sc.stream = true; // record_trace stays true: both paths live
+    let run = sc.run();
+    assert!(!run.world.trace().is_empty(), "trace should be on");
+    let m = run.stream.as_ref().expect("stream metrics present");
+    // Compare every streamed measurement against a batch extraction
+    // from the same run's trace.
+    let trace = run.world.trace();
+    assert_eq!(
+        *m.queue(run.bottleneck_12),
+        td_analysis::queue_series(trace, run.bottleneck_12)
+    );
+    assert_eq!(
+        *m.queue(run.bottleneck_21),
+        td_analysis::queue_series(trace, run.bottleneck_21)
+    );
+    for &c in &run.fwd {
+        assert_eq!(*m.cwnd(c), td_analysis::cwnd_series(trace, c));
+    }
+    assert_eq!(
+        m.utilization(run.bottleneck_12).to_bits(),
+        td_analysis::utilization_in(trace, run.bottleneck_12, run.t0, run.t1).to_bits()
+    );
+    assert_eq!(
+        m.utilization(run.bottleneck_21).to_bits(),
+        td_analysis::utilization_in(trace, run.bottleneck_21, run.t0, run.t1).to_bits()
+    );
+    let batch_drops = td_analysis::drop_events(trace);
+    assert_eq!(m.drops().len(), batch_drops.len());
+    for (a, b) in m.drops().iter().zip(&batch_drops) {
+        assert_eq!(
+            (a.t, a.ch, a.conn, a.seq, a.is_data),
+            (b.t, b.ch, b.conn, b.seq, b.is_data)
+        );
+    }
+    let batch_deps = td_analysis::departures(trace, run.bottleneck_12);
+    assert_eq!(m.departures(run.bottleneck_12).len(), batch_deps.len());
+    for (a, b) in m.departures(run.bottleneck_12).iter().zip(&batch_deps) {
+        assert_eq!((a.t, a.pkt.id, a.pkt.seq), (b.t, b.pkt.id, b.pkt.seq));
+    }
+}
+
+/// A trace-off streaming run still produces the full metrics block: the
+/// report renders with every check row populated, while the world holds
+/// zero trace records.
+#[test]
+fn trace_off_run_produces_full_metrics() {
+    let mut sc = scenario::Scenario::paper(td_engine::SimDuration::from_millis(10), Some(20))
+        .with_fwd(1, scenario::ConnSpec::paper())
+        .with_rev(1, scenario::ConnSpec::paper());
+    sc.duration = td_engine::SimDuration::from_secs(30);
+    sc.warmup = td_engine::SimDuration::from_secs(5);
+    sc.stream = true;
+    sc.record_trace = false;
+    let run = sc.run();
+    assert!(run.world.trace().is_empty(), "trace must stay off");
+    assert_eq!(run.world.trace().capacity(), 0, "trace must not allocate");
+    // Every Run measurement works without a trace.
+    assert!(run.util12() > 0.1);
+    assert!(run.util21() > 0.1);
+    assert!(!run.queue1().is_empty());
+    assert!(!run.queue2().is_empty());
+    let (a, b) = (run.fwd[0], run.rev[0]);
+    let (q1, q2, cw1, cw2) = run.queues_and_cwnds(a, b);
+    assert_eq!(q1, run.queue1());
+    assert_eq!(q2, run.queue2());
+    assert!(!cw1.is_empty());
+    assert!(!cw2.is_empty());
+    let _ = run.drops();
+    let _ = run.clustering12();
+    let _ = run.clustering12_all();
+    // And the full fig8 report renders trace-free with all rows present.
+    let rep = fig89::report_fig8_mode(1, 60, true);
+    assert!(rep.rows.len() >= 7, "metrics block incomplete: {rep}");
+}

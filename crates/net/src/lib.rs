@@ -116,7 +116,10 @@ pub use packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
 pub use pcap::{text_dump, to_pcap_bytes, write_pcap, CapturePoint};
 pub use shard::{ShardSnapshot, ShardedWorld};
 pub use topology::{chain, dumbbell, Chain, Dumbbell, LinkSpec};
-pub use trace::{DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceRecord};
+pub use trace::{
+    canonical_trace_cmp, DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceObserver,
+    TraceRecord,
+};
 pub use watchdog::{
     EndpointProgress, RunOutcome, StallKind, StallReport, StuckConn, WatchdogConfig,
 };

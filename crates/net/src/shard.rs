@@ -64,7 +64,7 @@ use crate::audit::{self, Audit};
 use crate::packet::{NodeId, Packet};
 use crate::partition::partition;
 use crate::snapcount;
-use crate::trace::{Trace, TraceEvent, TraceRecord};
+use crate::trace::{canonical_trace_cmp, Trace, TraceObserver, TraceRecord};
 use crate::world::{
     load_event, load_trace_record, save_trace_record, set_timer_load_xlat, set_timer_save_xlat,
     ChannelId, ChannelStats, Endpoint, EndpointId, World,
@@ -258,6 +258,28 @@ impl ShardedWorld {
         &self.trace
     }
 
+    /// Register one streaming observer per shard. The factory is called
+    /// once per shard world; each observer sees only its own shard's
+    /// emissions (in that shard's dispatch order) and travels with the
+    /// world into the worker thread. Recover them with
+    /// [`ShardedWorld::take_observers`] and merge — every channel,
+    /// endpoint, and connection lives wholly on one shard, so per-key
+    /// streaming state partitions cleanly across the returned set.
+    pub fn add_observers(&mut self, mut make: impl FnMut(u32) -> Box<dyn TraceObserver>) {
+        for (i, w) in self.worlds.iter_mut().enumerate() {
+            w.add_observer(make(i as u32));
+        }
+    }
+
+    /// Remove and return all observers, in shard order (each shard's
+    /// observers are contiguous, in registration order).
+    pub fn take_observers(&mut self) -> Vec<Box<dyn TraceObserver>> {
+        self.worlds
+            .iter_mut()
+            .flat_map(|w| w.take_observers())
+            .collect()
+    }
+
     /// The merged audit across all shards (violations canonically ordered,
     /// conservation checked on the summed counters).
     pub fn audit(&self) -> &Audit {
@@ -398,23 +420,22 @@ impl ShardedWorld {
     /// traces re-sorted by `(time, encoding)`, audits summed and their
     /// violation records re-sorted, conservation re-checked globally.
     fn merge_outputs(&mut self, t_end: SimTime) {
-        let mut batch: Vec<(SimTime, u8, Vec<u8>, TraceRecord)> = Vec::new();
+        let mut batch: Vec<TraceRecord> = Vec::new();
         for w in &mut self.worlds {
-            for rec in w.trace().records() {
-                let mut sw = SnapWriter::new();
-                save_trace_record(rec, &mut sw);
-                batch.push((rec.t, causal_rank(&rec.ev), sw.into_bytes(), *rec));
-            }
+            batch.extend_from_slice(w.trace().records());
             w.trace_mut().clear();
         }
         // Each run_until produces records strictly later than the last, so
         // a sorted batch appends in globally sorted order. Ties at the
-        // same instant sort by causal rank (see `causal_rank`) and then by
-        // encoded content — both pure functions of the record, so the
-        // merged order cannot depend on the shard count.
-        batch.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+        // same instant sort by causal rank and then in encoded-content
+        // order — both pure functions of the record, so the merged order
+        // cannot depend on the shard count. `canonical_trace_cmp` is a
+        // field-wise mirror of the old sort key `(t, causal_rank(ev),
+        // SnapWriter encoding bytes)`: same total order, but without
+        // encoding every record into a fresh `Vec<u8>` just to compare.
+        batch.sort_by(canonical_trace_cmp);
         let mut records = self.trace.records().to_vec();
-        records.extend(batch.into_iter().map(|(_, _, _, rec)| rec));
+        records.extend(batch);
         self.trace.set_records(records);
 
         let mut merged = self.base_audit.clone();
@@ -424,28 +445,6 @@ impl ShardedWorld {
         merged.finalize_merge();
         merged.check_merged_conservation(t_end);
         self.audit = merged;
-    }
-}
-
-/// Tie-break rank for merged trace records at the same instant,
-/// mirroring the order a serial dispatch emits them: a departure frees
-/// the wire (`TxEnd`), deliveries and the endpoint reactions they
-/// trigger come next (`Deliver` → `Proto` → `Send` → `Enqueue`/`Drop`),
-/// and the next serialization starts last (`TxStart`). Without this, a
-/// byte-wise sort can place a channel's next `TxStart` *before* the
-/// `TxEnd` it follows (the encoding tags happen to order that way),
-/// which corrupts any analysis that pairs starts with ends — utilization
-/// would double-count entire windows. Records of one channel never span
-/// shards, so this rank plus encoded-content ordering reconstructs a
-/// causally consistent global trace for every shard count.
-fn causal_rank(ev: &TraceEvent) -> u8 {
-    match ev {
-        TraceEvent::TxEnd { .. } => 0,
-        TraceEvent::Deliver { .. } => 1,
-        TraceEvent::Proto { .. } => 2,
-        TraceEvent::Send { .. } => 3,
-        TraceEvent::Enqueue { .. } | TraceEvent::Drop { .. } => 4,
-        TraceEvent::TxStart { .. } => 5,
     }
 }
 

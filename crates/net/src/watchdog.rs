@@ -21,6 +21,7 @@
 //! endpoint out of stall attribution (an infinite source is never
 //! "stuck").
 
+use crate::packet::NodeId;
 use std::path::PathBuf;
 use td_engine::{SimDuration, SimTime};
 
@@ -92,8 +93,10 @@ impl std::fmt::Display for StallKind {
 pub struct StuckConn {
     /// Connection id value.
     pub conn: u32,
-    /// Host name the endpoint lives on.
-    pub host: String,
+    /// Host node the endpoint lives on (resolve the display name via
+    /// [`crate::World::node_name`] when a world is at hand; building the
+    /// record itself allocates nothing).
+    pub host: NodeId,
     /// The endpoint's own state summary ([`EndpointProgress::detail`]).
     pub detail: String,
 }
@@ -128,7 +131,10 @@ impl StallReport {
             self.note
         );
         for s in &self.stuck {
-            out.push_str(&format!("; conn {} on {}: {}", s.conn, s.host, s.detail));
+            out.push_str(&format!(
+                "; conn {} on node{}: {}",
+                s.conn, s.host.0, s.detail
+            ));
         }
         if let Some(p) = &self.post_mortem {
             out.push_str(&format!("; post-mortem snapshot: {}", p.display()));

@@ -48,7 +48,9 @@ use crate::discipline::{Discipline, Victim};
 use crate::fault::{FaultError, FaultKind, FaultModel, FaultOutcome, FaultPlan};
 use crate::packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
 use crate::snapcount;
-use crate::trace::{DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceRecord};
+use crate::trace::{
+    DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceObserver, TraceRecord,
+};
 use crate::watchdog::{
     EndpointProgress, RunOutcome, StallKind, StallReport, StuckConn, WatchdogConfig,
 };
@@ -587,6 +589,11 @@ pub struct World {
     /// Sharded runs: cross-shard deliveries buffered for the executor,
     /// as `(arrival time, channel, packet)`.
     outbox: Vec<(SimTime, ChannelId, Packet)>,
+    /// Streaming observers fed at every trace-emission site, **even when
+    /// trace recording is disabled** — the trace-free analysis path.
+    /// Not part of snapshots: observers are analysis state, not
+    /// simulation state.
+    observers: Vec<Box<dyn TraceObserver>>,
 }
 
 impl World {
@@ -608,7 +615,35 @@ impl World {
             ep_packet_ctr: Vec::new(),
             remote_node: Vec::new(),
             outbox: Vec::new(),
+            observers: Vec::new(),
         }
+    }
+
+    /// Record one trace event: feed every registered observer, then append
+    /// to the trace (a no-op there when recording is disabled). The single
+    /// funnel for all emission sites, so observers see exactly the record
+    /// stream the trace would hold, in emission order.
+    #[inline]
+    fn record(&mut self, t: SimTime, ev: TraceEvent) {
+        for obs in &mut self.observers {
+            obs.on_record(t, &ev);
+        }
+        self.trace.push(t, ev);
+    }
+
+    /// Register a streaming observer. Observers are fed at every
+    /// trace-emission site even when trace recording is disabled, which is
+    /// what makes trace-free analysis possible; they ride along for the
+    /// rest of the run (or until [`World::take_observers`]).
+    pub fn add_observer(&mut self, obs: Box<dyn TraceObserver>) {
+        self.observers.push(obs);
+    }
+
+    /// Remove and return all registered observers, in registration order.
+    /// Call after the run to finalize streaming analyses (downcast via
+    /// [`TraceObserver::into_any`]).
+    pub fn take_observers(&mut self) -> Vec<Box<dyn TraceObserver>> {
+        std::mem::take(&mut self.observers)
     }
 
     // -- construction -------------------------------------------------------
@@ -726,20 +761,28 @@ impl World {
             .map(NodeId)
             .filter(|n| self.hosts.is_host(n.0 as usize))
             .collect();
+        // Incoming-channel adjacency, built once: rescanning every channel
+        // per BFS frontier node is quadratic and dominates route setup on
+        // multi-thousand-node chains. Per-node lists hold channel ids in
+        // ascending order, preserving the id-order tie-break exactly.
+        let n = self.nodes.len();
+        let mut incoming: Vec<Vec<(NodeId, ChannelId)>> = vec![Vec::new(); n];
+        for ci in 0..self.channels.len() {
+            let (cs, cd) = (self.channels.src(ci), self.channels.dst(ci));
+            incoming[cd.0 as usize].push((cs, ChannelId(ci as u32)));
+        }
         for &dst in &hosts {
             // BFS on reversed edges from dst; dist/via arrays per node.
-            let n = self.nodes.len();
             let mut dist = vec![u32::MAX; n];
             let mut via: Vec<Option<ChannelId>> = vec![None; n];
             dist[dst.0 as usize] = 0;
             let mut frontier = VecDeque::from([dst]);
             while let Some(u) = frontier.pop_front() {
                 // Channels in id order → deterministic tie-breaking.
-                for ci in 0..self.channels.len() {
-                    let (cs, cd) = (self.channels.src(ci), self.channels.dst(ci));
-                    if cd == u && dist[cs.0 as usize] == u32::MAX {
+                for &(cs, ch) in &incoming[u.0 as usize] {
+                    if dist[cs.0 as usize] == u32::MAX {
                         dist[cs.0 as usize] = dist[u.0 as usize] + 1;
-                        via[cs.0 as usize] = Some(ChannelId(ci as u32));
+                        via[cs.0 as usize] = Some(ch);
                         frontier.push_back(cs);
                     }
                 }
@@ -914,7 +957,7 @@ impl World {
                 if p.finished == Some(false) {
                     Some(StuckConn {
                         conn: meta.conn.0,
-                        host: self.nodes[meta.host.0 as usize].name.clone(),
+                        host: meta.host,
                         detail: p.detail,
                     })
                 } else {
@@ -1391,8 +1434,7 @@ impl World {
             h = fnv(h, self.hosts.proc_delay(ni).as_nanos());
             h = fold_bytes(h, node.name.as_bytes());
             if let NodeKind::Switch { routes } = &node.kind {
-                let mut sorted: Vec<(u32, u32)> =
-                    routes.iter().map(|(d, c)| (d.0, c.0)).collect();
+                let mut sorted: Vec<(u32, u32)> = routes.iter().map(|(d, c)| (d.0, c.0)).collect();
                 sorted.sort_unstable();
                 for (d, c) in sorted {
                     h = fnv(fnv(h, u64::from(d)), u64::from(c));
@@ -1587,7 +1629,7 @@ impl World {
         if !ch.discipline.admit(&pkt, occupancy, rng) {
             ch.stats.drops += 1;
             self.audit.on_drop();
-            self.trace.push(
+            self.record(
                 t,
                 TraceEvent::Drop {
                     ch: ch_id,
@@ -1607,7 +1649,7 @@ impl World {
                 Victim::Arriving => {
                     ch.stats.drops += 1;
                     self.audit.on_drop();
-                    self.trace.push(
+                    self.record(
                         t,
                         TraceEvent::Drop {
                             ch: ch_id,
@@ -1624,7 +1666,7 @@ impl World {
                     ch.stats.enqueued += 1;
                     self.audit.on_drop();
                     self.audit.on_enqueue(t, ch_id, occupancy, capacity);
-                    self.trace.push(
+                    self.record(
                         t,
                         TraceEvent::Drop {
                             ch: ch_id,
@@ -1633,7 +1675,7 @@ impl World {
                             qlen: occupancy,
                         },
                     );
-                    self.trace.push(
+                    self.record(
                         t,
                         TraceEvent::Enqueue {
                             ch: ch_id,
@@ -1647,7 +1689,7 @@ impl World {
             ch.discipline.enqueue(pkt);
             ch.stats.enqueued += 1;
             self.audit.on_enqueue(t, ch_id, occupancy + 1, capacity);
-            self.trace.push(
+            self.record(
                 t,
                 TraceEvent::Enqueue {
                     ch: ch_id,
@@ -1674,7 +1716,7 @@ impl World {
             }
         };
         if let Some((pkt, tx_time)) = started {
-            self.trace.push(t, TraceEvent::TxStart { ch: ch_id, pkt });
+            self.record(t, TraceEvent::TxStart { ch: ch_id, pkt });
             self.schedule_event(t + tx_time, Event::TxComplete(ch_id));
         }
     }
@@ -1692,7 +1734,7 @@ impl World {
             let outcome = ch.fault.decide(t, ch.delay, &mut *ch.rng);
             (pkt, qlen_after, ch.delay, outcome)
         };
-        self.trace.push(
+        self.record(
             t,
             TraceEvent::TxEnd {
                 ch: ch_id,
@@ -1707,7 +1749,7 @@ impl World {
                     FaultKind::LinkDown => DropReason::LinkDown,
                     FaultKind::Dropped | FaultKind::Corrupted => DropReason::Fault,
                 };
-                self.trace.push(
+                self.record(
                     t,
                     TraceEvent::Drop {
                         ch: ch_id,
@@ -1791,8 +1833,7 @@ impl World {
             self.schedule_event(due, Event::HostProcess(node_id));
         }
         self.audit.on_deliver(t);
-        self.trace
-            .push(t, TraceEvent::Deliver { node: node_id, pkt });
+        self.record(t, TraceEvent::Deliver { node: node_id, pkt });
         let ep = match &self.nodes[ni].kind {
             NodeKind::Host { endpoints, .. } => *endpoints.get(&pkt.conn).unwrap_or_else(|| {
                 panic!(
@@ -1929,9 +1970,7 @@ impl Ctx<'_> {
             }),
             NodeKind::Switch { .. } => unreachable!("endpoints live on hosts"),
         };
-        self.world
-            .trace
-            .push(t, TraceEvent::Send { node: host, pkt });
+        self.world.record(t, TraceEvent::Send { node: host, pkt });
         self.world.offer(t, uplink, pkt);
         id
     }
@@ -1959,9 +1998,7 @@ impl Ctx<'_> {
         if let ProtoEvent::Cwnd { cwnd, ssthresh } = ev {
             self.world.audit.on_cwnd(t, conn, cwnd, ssthresh);
         }
-        self.world
-            .trace
-            .push(t, TraceEvent::Proto { conn, node, ev });
+        self.world.record(t, TraceEvent::Proto { conn, node, ev });
     }
 
     /// Deterministic randomness (shared world stream). Not
@@ -3010,7 +3047,8 @@ mod watchdog_tests {
         assert_eq!(report.kind, StallKind::Deadlock);
         assert_eq!(report.stuck.len(), 1);
         assert_eq!(report.stuck[0].conn, 0);
-        assert_eq!(report.stuck[0].host, "H0");
+        assert_eq!(report.stuck[0].host, h0);
+        assert!(report.render().contains("node0"), "{}", report.render());
         assert!(
             report.render().contains("rto unarmed"),
             "{}",
