@@ -81,10 +81,32 @@ fn canonical_overhead(c: &mut Harness) {
     );
 }
 
+/// Route-table construction on a 64-cluster chain (320 switches × 256
+/// hosts): BFS plus run-length compression and default elision, no
+/// traffic attached. This is the per-replica build cost every shard pays
+/// at the 100k/1M rungs, so its growth rate matters as much as dispatch.
+fn route_build(c: &mut Harness) {
+    let p = ScaleParams {
+        clusters: 64,
+        conns_per_cluster: 0,
+        inter_conns: 0,
+        duration_s: 1,
+        trace: false,
+    };
+    c.bench_function("world/compute-routes 64-cluster chain", |b| {
+        b.iter(|| {
+            let mut w = World::new(7);
+            build_chain(&mut w, 7, &p);
+            black_box(w.route_table_bytes())
+        });
+    });
+}
+
 fn main() {
     let mut c = Harness::new();
     scale_chain(&mut c);
     canonical_overhead(&mut c);
+    route_build(&mut c);
     let json_path = std::env::var("TD_BENCH_JSON").unwrap_or_else(|_| "BENCH_world.json".into());
     if let Err(e) = c.write_json(std::path::Path::new(&json_path)) {
         eprintln!("could not write {json_path}: {e}");

@@ -50,10 +50,12 @@ pub const JOURNAL_FILE: &str = "journal.tdj";
 
 /// Magic prefix of every journal record payload.
 const MAGIC: &[u8; 4] = b"TDJL";
-/// Journal format version. Readers refuse anything newer; v1 cells
-/// (written before `peak_rss_kib` existed) still decode, with the
-/// missing field defaulting to 0.
-const VERSION: u32 = 2;
+/// Journal format version. Readers refuse anything newer; older cells
+/// still decode: v1 (pre-`peak_rss_kib`) defaults the field to 0, and
+/// v1/v2 (pre-`peak_rss_is_process_max`, when the watermark was never
+/// reset between cells) default the flag to `true` — which is exactly
+/// what their recorded values were.
+const VERSION: u32 = 3;
 
 const TAG_HEADER: u8 = 0;
 const TAG_CELL: u8 = 1;
@@ -298,6 +300,7 @@ fn encode_cell(res: &ExperimentResult) -> Vec<u8> {
     w.write_u64(res.timing.events_dispatched);
     w.write_u64(res.timing.peak_queue_depth as u64);
     w.write_u64(res.timing.peak_rss_kib);
+    w.write_bool(res.timing.peak_rss_is_process_max);
     w.write_u64(res.audit.total);
     w.write_u64(res.audit.reports.len() as u64);
     for msg in &res.audit.reports {
@@ -324,6 +327,7 @@ fn decode_cell(bytes: &[u8]) -> Result<JournalCell, SnapError> {
         events_dispatched: r.read_u64()?,
         peak_queue_depth: r.read_u64()? as usize,
         peak_rss_kib: if version >= 2 { r.read_u64()? } else { 0 },
+        peak_rss_is_process_max: if version >= 3 { r.read_bool()? } else { true },
     };
     let total = r.read_u64()?;
     let n_reports = r.read_u64()?;
@@ -488,6 +492,7 @@ mod tests {
                 events_dispatched: 90,
                 peak_queue_depth: 12,
                 peak_rss_kib: 4096,
+                peak_rss_is_process_max: false,
             },
             audit: Tally {
                 total: 1,
@@ -558,6 +563,38 @@ mod tests {
         assert_eq!(cell.id, want.id);
         assert_eq!(cell.timing.peak_queue_depth, want.timing.peak_queue_depth);
         assert_eq!(cell.timing.peak_rss_kib, 0, "v1 default");
+        assert!(
+            cell.timing.peak_rss_is_process_max,
+            "pre-v3 watermarks were never reset"
+        );
+    }
+
+    /// A v2 journal (with `peak_rss_kib` but no per-cell watermark reset
+    /// flag) must still load; its readings were process-lifetime maxima,
+    /// so the flag defaults to `true`.
+    #[test]
+    fn v2_cells_still_decode() {
+        let want = sample_result(0);
+        let mut w = SnapWriter::with_header(MAGIC, 2);
+        w.write_u8(TAG_CELL);
+        w.write_str(want.id);
+        w.write_u64(want.replicate);
+        w.write_u64(want.seed);
+        w.write_bool(false);
+        w.write_f64(want.timing.wall_s);
+        w.write_u64(want.timing.events_scheduled);
+        w.write_u64(want.timing.events_dispatched);
+        w.write_u64(want.timing.peak_queue_depth as u64);
+        w.write_u64(want.timing.peak_rss_kib);
+        w.write_u64(want.audit.total);
+        w.write_u64(want.audit.reports.len() as u64);
+        for msg in &want.audit.reports {
+            w.write_str(msg);
+        }
+        write_report(&mut w, &want.report);
+        let cell = decode_cell(&w.into_bytes()).unwrap();
+        assert_eq!(cell.timing.peak_rss_kib, want.timing.peak_rss_kib);
+        assert!(cell.timing.peak_rss_is_process_max, "v2 default");
     }
 
     #[test]

@@ -166,11 +166,18 @@ pub fn registry() -> Vec<Entry> {
 /// Entries addressable with `--only` but excluded from `--all`:
 /// resource-budget drills rather than paper claims.
 pub fn hidden() -> Vec<Entry> {
-    vec![Entry {
-        id: "scale100k",
-        about: "100k-connection rung: 640-cluster chain, trace off, pinned RSS budget",
-        runner: crate::scale::report_100k,
-    }]
+    vec![
+        Entry {
+            id: "scale100k",
+            about: "100k-connection rung: 640-cluster chain, trace off, pinned RSS budget",
+            runner: crate::scale::report_100k,
+        },
+        Entry {
+            id: "scale1m",
+            about: "1M-connection rung: 6400-cluster chain, compressed routes, pinned RSS budget",
+            runner: crate::scale::report_1m,
+        },
+    ]
 }
 
 /// Look up one experiment by id, including hidden entries.
@@ -199,7 +206,10 @@ mod tests {
         assert!(find("nonsense").is_none());
         // Hidden entries resolve by id but stay out of the listing.
         assert!(find("scale100k").is_some());
-        assert!(registry().iter().all(|e| e.id != "scale100k"));
+        assert!(find("scale1m").is_some());
+        assert!(registry()
+            .iter()
+            .all(|e| e.id != "scale100k" && e.id != "scale1m"));
     }
 
     #[test]

@@ -144,13 +144,21 @@ pub struct Timing {
     pub events_dispatched: u64,
     /// Largest pending-event set any of its queues ever held.
     pub peak_queue_depth: usize,
-    /// Process peak-RSS high-water mark (`VmHWM`, KiB) sampled when the
-    /// cell finished. This is a *process-wide* monotone watermark, not a
-    /// per-cell delta — in a parallel batch it tells you which cell first
-    /// pushed the process to a given footprint, and for a single
-    /// experiment (`--only scale100k`) it is the machine-checked memory
-    /// budget. 0 where `/proc/self/status` is unavailable.
+    /// Peak-RSS high-water mark (`VmHWM`, KiB) sampled when the cell
+    /// finished. The watermark is reset (see [`reset_peak_rss`]) before
+    /// each cell, so on supporting kernels this is a genuine *per-cell*
+    /// peak; where the reset is unavailable
+    /// [`Timing::peak_rss_is_process_max`] is set and the value degrades
+    /// to the process-lifetime maximum (every cell finishing after the
+    /// largest-footprint one inherits its peak). Workers running in
+    /// parallel share one watermark either way, so per-cell readings are
+    /// exact at `--jobs 1` and upper bounds otherwise. 0 where
+    /// `/proc/self/status` is unavailable.
     pub peak_rss_kib: u64,
+    /// True when the pre-cell watermark reset failed (non-Linux, or a
+    /// kernel without `CONFIG_PROC_PAGE_MONITOR`): `peak_rss_kib` is
+    /// then the process-lifetime high-water mark, not this cell's.
+    pub peak_rss_is_process_max: bool,
 }
 
 /// The process's peak resident-set size in KiB: `VmHWM` from
@@ -164,6 +172,15 @@ pub fn peak_rss_kib() -> u64 {
         .find_map(|l| l.strip_prefix("VmHWM:"))
         .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
         .unwrap_or(0)
+}
+
+/// Reset the kernel's peak-RSS watermark to the *current* RSS by writing
+/// `5` to `/proc/self/clear_refs`, so the next [`peak_rss_kib`] reading
+/// measures only what happened after this call. Returns `false` where
+/// the kernel doesn't support it (the watermark then stays a
+/// process-lifetime maximum and callers must flag the reading as such).
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 /// One executed (experiment, replicate) cell.
@@ -320,6 +337,7 @@ impl BatchResult {
                  \"panic\": {panic}, \
                  \"wall_s\": {:.6}, \"events_scheduled\": {}, \"events_dispatched\": {}, \
                  \"peak_queue_depth\": {}, \"peak_rss_kib\": {}, \
+                 \"peak_rss_is_process_max\": {}, \
                  \"audit_violations\": {}, \"audit\": {audit}, \
                  \"snapshots_taken\": {}, \"snapshots_restored\": {}, \
                  \"replayed\": {}, \
@@ -333,6 +351,7 @@ impl BatchResult {
                 t.events_dispatched,
                 t.peak_queue_depth,
                 t.peak_rss_kib,
+                t.peak_rss_is_process_max,
                 r.audit.total,
                 r.snap.taken,
                 r.snap.restored,
@@ -547,6 +566,7 @@ pub fn run_batch_resumable(
                     td_engine::telemetry::reset();
                     td_net::audit::reset_thread();
                     snapcount::reset_thread();
+                    let rss_reset = reset_peak_rss();
                     let t0 = Instant::now();
                     let outcome =
                         catch_unwind(AssertUnwindSafe(|| entry.run(seed, cfg.profile)));
@@ -574,6 +594,7 @@ pub fn run_batch_resumable(
                             events_dispatched: telem.events_dispatched,
                             peak_queue_depth: telem.peak_queue_depth,
                             peak_rss_kib: peak_rss_kib(),
+                            peak_rss_is_process_max: !rss_reset,
                         },
                         audit,
                         snap,
@@ -722,6 +743,60 @@ mod tests {
         assert!(r.timing.peak_queue_depth > 0);
         assert!(r.timing.events_scheduled >= r.timing.events_dispatched);
         assert!(json.matches("{\"id\"").count() == 1 || json.contains("{\"id\": "));
+    }
+
+    /// The pre-cell watermark reset makes `peak_rss_kib` per-cell: a
+    /// small cell running after a large one must record its own (much
+    /// lower) peak, not inherit the large cell's. On kernels without
+    /// `clear_refs` support the flag marks the reading process-max and
+    /// the drop can't be asserted.
+    #[test]
+    fn peak_rss_is_per_cell_after_reset() {
+        fn touch(mib: usize) -> u64 {
+            // One big allocation, touched page by page so it is resident;
+            // sized past the malloc mmap threshold so dropping it really
+            // returns the pages to the kernel.
+            let mut buf = vec![0u8; mib << 20];
+            for i in (0..buf.len()).step_by(4096) {
+                buf[i] = 1;
+            }
+            u64::from(buf[buf.len() / 2])
+        }
+        let entries = vec![
+            Entry::new("rss-large", "allocates 128 MiB (test fixture)", |_, _| {
+                let live = touch(128);
+                Report::new("rss-large", "large", &format!("touched {live}"))
+            }),
+            Entry::new("rss-small", "allocates 1 MiB (test fixture)", |_, _| {
+                let live = touch(1);
+                Report::new("rss-small", "small", &format!("touched {live}"))
+            }),
+        ];
+        // jobs = 1: one worker, strictly large-then-small, one watermark.
+        let batch = run_batch(
+            &entries,
+            &RunnerConfig {
+                jobs: 1,
+                ..RunnerConfig::new()
+            },
+        );
+        let large = &batch.results[0].timing;
+        let small = &batch.results[1].timing;
+        if large.peak_rss_is_process_max || small.peak_rss_is_process_max {
+            eprintln!("kernel lacks clear_refs peak-RSS reset; skipping drop assertion");
+            return;
+        }
+        assert!(
+            large.peak_rss_kib >= 128 * 1024,
+            "large cell peak {} KiB below its own allocation",
+            large.peak_rss_kib
+        );
+        assert!(
+            small.peak_rss_kib + 64 * 1024 <= large.peak_rss_kib,
+            "small cell ({} KiB) inherited the large cell's watermark ({} KiB)",
+            small.peak_rss_kib,
+            large.peak_rss_kib
+        );
     }
 
     #[test]

@@ -100,6 +100,24 @@ impl ScaleParams {
             trace: false,
         }
     }
+
+    /// Dimensions of the 1M-connection rung: a 6400-cluster chain,
+    /// 6400 × 156 + 6399 × 4 = 1 023 996 connections. Only viable with
+    /// the compressed routing tables — a dense per-switch map at this
+    /// scale would cost tens of GiB before the first packet moves. Trace
+    /// off, streaming metrics only, same shape as [`rung_100k`].
+    pub fn rung_1m(p: Profile) -> ScaleParams {
+        ScaleParams {
+            clusters: 6400,
+            conns_per_cluster: 156,
+            inter_conns: 4,
+            duration_s: match p {
+                Profile::Quick => 1,
+                Profile::Full => 5,
+            },
+            trace: false,
+        }
+    }
 }
 
 /// Channel ids the report reads, captured while building.
@@ -153,6 +171,9 @@ pub fn build_chain(w: &mut World, seed: u64, p: &ScaleParams) -> ScaleMap {
         hosts.push(hs);
     }
     w.compute_routes();
+    // The chain is fully connected by construction; fail loudly at build
+    // time if a wiring regression ever partitions it.
+    w.validate_routes();
 
     // Traffic. Start times are jittered from a seed-derived stream that is
     // independent of the world RNG, so attachment stays shard-invariant.
@@ -307,6 +328,21 @@ pub fn report_100k(seed: u64, profile: Profile) -> Report {
     )
 }
 
+/// The 1M-connection rung: [`ScaleParams::rung_1m`] rendered under its
+/// own id. Hidden from `--all` like `scale100k`; addressable via
+/// `td-repro --only scale1m`. This is the rung the compressed routing
+/// tables exist for — its CI job runs under a hard `ulimit -v`.
+pub fn report_1m(seed: u64, profile: Profile) -> Report {
+    let p = ScaleParams::rung_1m(profile);
+    report_params(
+        seed,
+        &p,
+        true,
+        "scale1m",
+        "1M-connection rung: 6400-cluster chain, trace off, streaming metrics",
+    )
+}
+
 fn report_params(seed: u64, p: &ScaleParams, stream: bool, id: &str, title: &str) -> Report {
     let (sw, map, t0, t1, metrics) = run_chain_mode(seed, p, stream);
     let mut rep = Report::new(
@@ -343,6 +379,25 @@ fn report_params(seed: u64, p: &ScaleParams, stream: bool, id: &str, title: &str
     rep.metric("connections", p.total_conns() as f64);
     rep.metric("delivered", audit.delivered() as f64);
     rep.metric("dropped", audit.dropped() as f64);
+
+    // Route-memory accounting, reported on the resource-budget rungs
+    // (scale100k / scale1m) where CI gates the compression ratio. Both
+    // figures come from shard replica 0, so they are shard-invariant and
+    // the rows survive the serial-vs-sharded determinism diff.
+    if id.starts_with("scale") {
+        let compressed = sw.route_table_bytes();
+        let dense = sw.dense_route_bytes();
+        rep.info(
+            "route table bytes (compressed / dense)",
+            "-",
+            format!(
+                "{compressed} / {dense} ({:.0}x)",
+                dense as f64 / compressed.max(1) as f64
+            ),
+        );
+        rep.metric("route_table_bytes", compressed as f64);
+        rep.metric("route_table_dense_bytes", dense as f64);
+    }
 
     // §5's signature phenomenon survives inside a cluster — measured
     // online when streaming, from the stored trace otherwise. The two

@@ -1,0 +1,147 @@
+//! Route-equivalence property test: the compressed run-length routing
+//! tables must resolve exactly the same next-hop as a reference dense
+//! map built by an independent BFS over the public topology surface —
+//! for every (switch, host) pair, on every topology family the repo
+//! ships (dumbbell, chain, star, scale cluster chains).
+//!
+//! The regression pins that make this a safe refactor live elsewhere
+//! and are unchanged by the compression work: the golden output hash
+//! (`runner_determinism.rs`), the serial-vs-sharded report diff
+//! (`scale::tests::quick_report_is_shard_invariant` and the CI
+//! determinism job), and the TDSW snapshot round-trip
+//! (`snapshot_roundtrip.rs`).
+
+use std::collections::HashMap;
+
+use td_engine::SimDuration;
+use td_experiments::scale::{build_chain, ScaleParams};
+use td_net::{ChannelId, LinkSpec, NodeId, World};
+
+/// Reference next-hop map: per-destination BFS from scratch over the
+/// public channel list, dense `(switch, host) → channel` entries. Same
+/// tie-break contract as `World::compute_routes` (hop count, then
+/// ascending channel id), but none of its code or data structures.
+fn reference_routes(w: &World) -> HashMap<(NodeId, NodeId), ChannelId> {
+    let n = w.node_count();
+    let mut incoming: Vec<Vec<(NodeId, ChannelId)>> = vec![Vec::new(); n];
+    for ch in w.channel_ids() {
+        let (src, dst) = w.channel_nodes(ch);
+        incoming[dst.0 as usize].push((src, ch));
+    }
+    for adj in &mut incoming {
+        adj.sort_by_key(|&(_, ch)| ch.0);
+    }
+    let mut routes = HashMap::new();
+    for h in 0..n as u32 {
+        let dst = NodeId(h);
+        if w.is_switch(dst) {
+            continue;
+        }
+        let mut seen = vec![false; n];
+        let mut via = vec![ChannelId(0); n];
+        let mut frontier = std::collections::VecDeque::new();
+        seen[h as usize] = true;
+        frontier.push_back(dst);
+        while let Some(u) = frontier.pop_front() {
+            for &(src, ch) in &incoming[u.0 as usize] {
+                if !seen[src.0 as usize] {
+                    seen[src.0 as usize] = true;
+                    via[src.0 as usize] = ch;
+                    frontier.push_back(src);
+                }
+            }
+        }
+        for s in 0..n as u32 {
+            let sw = NodeId(s);
+            if w.is_switch(sw) && seen[s as usize] {
+                routes.insert((sw, dst), via[s as usize]);
+            }
+        }
+    }
+    routes
+}
+
+/// Every (switch, host) pair must resolve identically through the
+/// compressed table and the reference map — including pairs the
+/// reference says are unreachable (both sides `None`).
+fn assert_equivalent(w: &World, label: &str) {
+    let reference = reference_routes(w);
+    let mut pairs = 0u64;
+    for s in 0..w.node_count() as u32 {
+        let sw = NodeId(s);
+        if !w.is_switch(sw) {
+            continue;
+        }
+        for h in 0..w.node_count() as u32 {
+            let host = NodeId(h);
+            if w.is_switch(host) {
+                continue;
+            }
+            pairs += 1;
+            assert_eq!(
+                w.route_lookup(sw, host),
+                reference.get(&(sw, host)).copied(),
+                "{label}: next-hop mismatch at switch {} ({}) → host {} ({})",
+                sw.0,
+                w.node_name(sw),
+                host.0,
+                w.node_name(host),
+            );
+        }
+    }
+    assert!(pairs > 0, "{label}: no (switch, host) pairs checked");
+}
+
+#[test]
+fn dumbbell_matches_reference() {
+    let d = td_net::dumbbell(
+        1,
+        LinkSpec::paper_bottleneck(SimDuration::from_millis(10), Some(20)),
+        LinkSpec::paper_host_link(),
+        SimDuration::from_micros(100),
+    );
+    assert_equivalent(&d.world, "dumbbell");
+}
+
+#[test]
+fn chains_match_reference() {
+    for n_switches in [2, 4, 9] {
+        let c = td_net::chain(
+            1,
+            n_switches,
+            LinkSpec::paper_bottleneck(SimDuration::from_millis(10), Some(30)),
+            LinkSpec::paper_host_link(),
+            SimDuration::from_micros(100),
+        );
+        assert_equivalent(&c.world, &format!("chain-{n_switches}"));
+    }
+}
+
+#[test]
+fn star_matches_reference() {
+    let mut w = World::new(1);
+    let hub = w.add_switch("hub");
+    for i in 0..6 {
+        let h = w.add_host(&format!("h{i}"), SimDuration::from_micros(10));
+        LinkSpec::paper_host_link().add_between(&mut w, h, hub);
+    }
+    w.compute_routes();
+    w.validate_routes();
+    assert_equivalent(&w, "star");
+}
+
+#[test]
+fn scale_cluster_chain_matches_reference() {
+    for clusters in [1, 2, 5] {
+        let p = ScaleParams {
+            clusters,
+            conns_per_cluster: 2,
+            inter_conns: 2,
+            duration_s: 1,
+            trace: false,
+        };
+        let mut w = World::new(9);
+        build_chain(&mut w, 9, &p);
+        assert_equivalent(&w, &format!("scale-{clusters}-clusters"));
+    }
+}

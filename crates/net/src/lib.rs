@@ -100,6 +100,7 @@ mod fault;
 mod packet;
 mod partition;
 pub mod pcap;
+mod route;
 pub mod shard;
 pub mod snapcount;
 mod topology;

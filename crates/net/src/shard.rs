@@ -301,6 +301,20 @@ impl ShardedWorld {
         self.worlds.iter().map(|w| w.events_dispatched()).sum()
     }
 
+    /// Heap bytes held by one replica's compressed routing tables. Every
+    /// shard replicates the full topology, so this is per-replica (and
+    /// therefore shard-count-invariant), not a process total.
+    pub fn route_table_bytes(&self) -> u64 {
+        self.worlds[0].route_table_bytes()
+    }
+
+    /// Bytes the legacy dense next-hop map would need per replica (see
+    /// [`World::dense_route_bytes`]) — the baseline for compression
+    /// ratios.
+    pub fn dense_route_bytes(&self) -> u64 {
+        self.worlds[0].dense_route_bytes()
+    }
+
     /// Borrow an endpoint (from its owning shard — replicas on other
     /// shards never run and hold stale initial state).
     pub fn endpoint(&self, ep: EndpointId) -> Option<&dyn Endpoint> {

@@ -122,6 +122,7 @@ pub fn dumbbell(
     host_link.add_between(&mut w, host2, switch2);
     let (bottleneck_12, bottleneck_21) = bottleneck.add_between(&mut w, switch1, switch2);
     w.compute_routes();
+    w.validate_routes();
     Dumbbell {
         world: w,
         host1,
@@ -177,6 +178,7 @@ pub fn chain(
         trunk_left.push(l);
     }
     w.compute_routes();
+    w.validate_routes();
     Chain {
         world: w,
         hosts,

@@ -47,6 +47,7 @@ use crate::audit::Audit;
 use crate::discipline::{Discipline, Victim};
 use crate::fault::{FaultError, FaultKind, FaultModel, FaultOutcome, FaultPlan};
 use crate::packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
+use crate::route::RouteTable;
 use crate::snapcount;
 use crate::trace::{
     DropReason, LossKind, ProtoEvent, Trace, TraceEvent, TraceObserver, TraceRecord,
@@ -238,7 +239,10 @@ enum NodeKind {
         endpoints: HashMap<ConnId, EndpointId>,
     },
     Switch {
-        routes: HashMap<NodeId, ChannelId>,
+        /// Compressed next-hop table (see [`crate::route`]): sorted
+        /// destination-id runs plus an optional default route, replacing
+        /// the O(hosts) dense map that dominated memory at scale.
+        table: RouteTable,
     },
 }
 
@@ -670,7 +674,7 @@ impl World {
         self.nodes.push(Node {
             name: name.to_owned(),
             kind: NodeKind::Switch {
-                routes: HashMap::new(),
+                table: RouteTable::new(),
             },
         });
         self.hosts.push_switch();
@@ -744,23 +748,50 @@ impl World {
     }
 
     /// Install a static route: packets for destination host `dst` arriving
-    /// at switch `sw` leave on channel `ch`.
+    /// at switch `sw` leave on channel `ch`. The channel must originate at
+    /// `sw`: a route onto another node's link would silently teleport
+    /// packets and surface only as baffling conservation noise, so it is
+    /// rejected at install time.
     pub fn set_route(&mut self, sw: NodeId, dst: NodeId, ch: ChannelId) {
+        let src = self.channels.src(ch.0 as usize);
+        assert!(
+            src == sw,
+            "set_route: channel {} leaves node {} ({}), not switch {} ({}) — \
+             a switch can only route onto its own outgoing channels",
+            ch.0,
+            src.0,
+            self.nodes[src.0 as usize].name,
+            sw.0,
+            self.nodes[sw.0 as usize].name,
+        );
         match &mut self.nodes[sw.0 as usize].kind {
-            NodeKind::Switch { routes } => {
-                routes.insert(dst, ch);
-            }
+            NodeKind::Switch { table } => table.insert(dst, ch),
             NodeKind::Host { .. } => panic!("set_route on a host"),
         }
     }
 
+    /// Ascending node ids of every host.
+    fn host_ids(&self) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&n| self.hosts.is_host(n as usize))
+            .collect()
+    }
+
     /// Compute shortest-path routes from every switch to every host by BFS
-    /// (hop count metric; ties broken by channel id for determinism).
+    /// (hop count metric; ties broken by channel id for determinism),
+    /// replacing whatever routes the switches held. Runs are appended
+    /// directly from the per-destination BFS — destinations arrive in
+    /// ascending id order, so consecutive hosts sharing a next-hop extend
+    /// the previous run in O(1) and the dense (switch × host) map is never
+    /// materialized. Afterwards each fully-covering switch elides its
+    /// majority channel into a default route (see [`crate::route`]).
     pub fn compute_routes(&mut self) {
-        let hosts: Vec<NodeId> = (0..self.nodes.len() as u32)
-            .map(NodeId)
-            .filter(|n| self.hosts.is_host(n.0 as usize))
-            .collect();
+        let host_ids = self.host_ids();
+        for node in &mut self.nodes {
+            if let NodeKind::Switch { table } = &mut node.kind {
+                table.clear();
+            }
+        }
         // Incoming-channel adjacency, built once: rescanning every channel
         // per BFS frontier node is quadratic and dominates route setup on
         // multi-thousand-node chains. Per-node lists hold channel ids in
@@ -771,28 +802,121 @@ impl World {
             let (cs, cd) = (self.channels.src(ci), self.channels.dst(ci));
             incoming[cd.0 as usize].push((cs, ChannelId(ci as u32)));
         }
-        for &dst in &hosts {
-            // BFS on reversed edges from dst; dist/via arrays per node.
-            let mut dist = vec![u32::MAX; n];
-            let mut via: Vec<Option<ChannelId>> = vec![None; n];
-            dist[dst.0 as usize] = 0;
-            let mut frontier = VecDeque::from([dst]);
+        // BFS scratch shared across destinations: epoch-stamped visited
+        // marks make the per-destination reset O(1) instead of O(nodes),
+        // which matters when both factors are in the tens of thousands.
+        let mut seen = vec![0u32; n];
+        let mut via = vec![ChannelId(0); n];
+        let mut frontier = VecDeque::new();
+        let mut prev_host: Option<u32> = None;
+        for (epoch, &dst) in (1u32..).zip(&host_ids) {
+            seen[dst as usize] = epoch;
+            frontier.push_back(NodeId(dst));
             while let Some(u) = frontier.pop_front() {
                 // Channels in id order → deterministic tie-breaking.
                 for &(cs, ch) in &incoming[u.0 as usize] {
-                    if dist[cs.0 as usize] == u32::MAX {
-                        dist[cs.0 as usize] = dist[u.0 as usize] + 1;
-                        via[cs.0 as usize] = Some(ch);
+                    if seen[cs.0 as usize] != epoch {
+                        seen[cs.0 as usize] = epoch;
+                        via[cs.0 as usize] = ch;
                         frontier.push_back(cs);
                     }
                 }
             }
-            for (node, via_ch) in self.nodes.iter_mut().zip(&via) {
-                if let (NodeKind::Switch { routes }, Some(ch)) = (&mut node.kind, via_ch) {
-                    routes.insert(dst, *ch);
+            for (ni, node) in self.nodes.iter_mut().enumerate() {
+                if let NodeKind::Switch { table } = &mut node.kind {
+                    if seen[ni] == epoch {
+                        table.extend(prev_host, NodeId(dst), via[ni]);
+                    }
+                }
+            }
+            prev_host = Some(dst);
+        }
+        for node in &mut self.nodes {
+            if let NodeKind::Switch { table } = &mut node.kind {
+                table.elide_default(&host_ids);
+                table.shrink();
+            }
+        }
+    }
+
+    /// Every (switch, destination host) pair with no installed route, as
+    /// `(switch, host)` node-id pairs in ascending order. Empty when the
+    /// routing tables are complete.
+    pub fn missing_routes(&self) -> Vec<(NodeId, NodeId)> {
+        let host_ids = self.host_ids();
+        let mut missing = Vec::new();
+        for (ni, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Switch { table } = &node.kind {
+                // Complete tables (the common case) are skipped by a run
+                // count, not a per-host probe.
+                if table.covered_hosts(&host_ids) == host_ids.len() {
+                    continue;
+                }
+                for h in table.missing_hosts(&host_ids) {
+                    missing.push((NodeId(ni as u32), NodeId(h)));
                 }
             }
         }
+        missing
+    }
+
+    /// Post-[`World::compute_routes`] reachability validation: panics
+    /// listing **every** (switch, destination) pair that has no route, so
+    /// a partitioned or mis-wired topology fails loudly at build time
+    /// instead of mid-run at the first undeliverable packet. Builders
+    /// whose topologies are fully connected by construction call this;
+    /// deliberately partial worlds (one-way cuts) simply don't.
+    pub fn validate_routes(&self) {
+        let missing = self.missing_routes();
+        if missing.is_empty() {
+            return;
+        }
+        let mut msg = format!("{} unreachable (switch, destination) pairs:", missing.len());
+        for (sw, dst) in &missing {
+            msg.push_str(&format!(
+                "\n  switch {} ({}) has no route to host {} ({})",
+                sw.0, self.nodes[sw.0 as usize].name, dst.0, self.nodes[dst.0 as usize].name
+            ));
+        }
+        panic!("{msg}");
+    }
+
+    /// Next-hop channel installed at switch `sw` for destination `dst`
+    /// (`None` for a host node or a missing route). Inspection surface
+    /// for route-equivalence tests and diagnostics.
+    pub fn route_lookup(&self, sw: NodeId, dst: NodeId) -> Option<ChannelId> {
+        match &self.nodes[sw.0 as usize].kind {
+            NodeKind::Switch { table } => table.lookup(dst),
+            NodeKind::Host { .. } => None,
+        }
+    }
+
+    /// Heap bytes held by all switch routing tables (the compressed
+    /// representation actually resident).
+    pub fn route_table_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Switch { table } => table.heap_bytes() as u64,
+                NodeKind::Host { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Bytes the legacy dense representation — one `(NodeId, ChannelId)`
+    /// entry per resolved (switch, host) route — would need for the same
+    /// tables, at 8 bytes per entry. This is the *floor* of any dense
+    /// map (a real `HashMap` adds control bytes and load-factor slack),
+    /// so compression ratios reported against it are conservative.
+    pub fn dense_route_bytes(&self) -> u64 {
+        let host_ids = self.host_ids();
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Switch { table } => table.covered_hosts(&host_ids) as u64 * 8,
+                NodeKind::Host { .. } => 0,
+            })
+            .sum()
     }
 
     /// Attach a protocol endpoint to `host`, speaking connection `conn`
@@ -1392,8 +1516,18 @@ impl World {
         self.canonical = true;
     }
 
-    pub(crate) fn node_count(&self) -> usize {
+    /// Number of nodes added so far; node ids are dense in
+    /// `0..node_count()`.
+    pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Whether `n` is a switch (as opposed to a host). Together with
+    /// [`World::node_count`], [`World::channel_ids`] and
+    /// [`World::route_lookup`] this lets external tests rebuild a
+    /// reference routing table and cross-check the compressed one.
+    pub fn is_switch(&self, n: NodeId) -> bool {
+        matches!(self.nodes[n.0 as usize].kind, NodeKind::Switch { .. })
     }
 
     pub(crate) fn channel_count(&self) -> usize {
@@ -1429,15 +1563,18 @@ impl World {
             }
         }
         let mut h = FNV_OFFSET;
+        // Routing tables are hashed through their *semantic* form — the
+        // canonical host segments — so two replicas whose tables resolve
+        // identically over every host cross-check equal regardless of run
+        // decomposition or default-route elision.
+        let host_ids = self.host_ids();
         for (ni, node) in self.nodes.iter().enumerate() {
             h = fnv(h, self.hosts.is_host(ni) as u64);
             h = fnv(h, self.hosts.proc_delay(ni).as_nanos());
             h = fold_bytes(h, node.name.as_bytes());
-            if let NodeKind::Switch { routes } = &node.kind {
-                let mut sorted: Vec<(u32, u32)> = routes.iter().map(|(d, c)| (d.0, c.0)).collect();
-                sorted.sort_unstable();
-                for (d, c) in sorted {
-                    h = fnv(fnv(h, u64::from(d)), u64::from(c));
+            if let NodeKind::Switch { table } = &node.kind {
+                for (first, last, c) in table.canonical_host_segments(&host_ids) {
+                    h = fnv(fnv(fnv(h, u64::from(first)), u64::from(last)), u64::from(c));
                 }
             }
         }
@@ -1806,7 +1943,7 @@ impl World {
             }
         } else {
             let out = match &self.nodes[ni].kind {
-                NodeKind::Switch { routes } => routes.get(&pkt.dst).copied(),
+                NodeKind::Switch { table } => table.lookup(pkt.dst),
                 NodeKind::Host { .. } => unreachable!("host row disagrees with node kind"),
             };
             match out {
@@ -2265,6 +2402,107 @@ mod tests {
             .downcast_ref::<Blaster>()
             .unwrap();
         assert_eq!(blaster.acks_seen, 3);
+    }
+
+    /// A manual route must leave on one of the switch's own outgoing
+    /// channels; wiring it onto another node's link is rejected at
+    /// install time, not discovered as conservation noise mid-run.
+    #[test]
+    #[should_panic(expected = "a switch can only route onto its own outgoing channels")]
+    fn set_route_rejects_foreign_channel() {
+        let mut w = World::new(1);
+        let h0 = w.add_host("H0", SimDuration::from_micros(100));
+        let h1 = w.add_host("H1", SimDuration::from_micros(100));
+        let s0 = w.add_switch("S0");
+        let s1 = w.add_switch("S1");
+        let spec = (
+            Rate::from_kbps(50),
+            SimDuration::from_millis(10),
+            None::<u32>,
+        );
+        for (a, b) in [(h0, s0), (s0, s1), (s1, h1)] {
+            w.add_channel(
+                a,
+                b,
+                spec.0,
+                spec.1,
+                spec.2,
+                Box::new(DropTail::new()),
+                FaultModel::NONE,
+            );
+        }
+        // Channel 2 leaves s1, not s0.
+        w.set_route(s0, h1, ChannelId(2));
+    }
+
+    /// `validate_routes` must list *every* unreachable (switch,
+    /// destination) pair at build time, not just the first.
+    #[test]
+    fn validate_routes_reports_all_missing_pairs() {
+        // Switch s has channels to a only; b and c are send-only hosts
+        // (their uplinks exist, the return channels don't).
+        let mut w = World::new(1);
+        let a = w.add_host("A", SimDuration::from_micros(100));
+        let b = w.add_host("B", SimDuration::from_micros(100));
+        let c = w.add_host("C", SimDuration::from_micros(100));
+        let s = w.add_switch("S");
+        let link = |w: &mut World, x, y| {
+            w.add_channel(
+                x,
+                y,
+                Rate::from_kbps(50),
+                SimDuration::from_millis(10),
+                None,
+                Box::new(DropTail::new()),
+                FaultModel::NONE,
+            )
+        };
+        link(&mut w, a, s);
+        link(&mut w, s, a);
+        link(&mut w, b, s);
+        link(&mut w, c, s);
+        w.compute_routes();
+        let missing = w.missing_routes();
+        assert_eq!(missing, vec![(s, b), (s, c)]);
+        let msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.validate_routes()))
+            .expect_err("incomplete routes must fail validation");
+        let msg = msg.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("2 unreachable"), "{msg}");
+        assert!(
+            msg.contains("host 1 (B)") && msg.contains("host 2 (C)"),
+            "{msg}"
+        );
+    }
+
+    /// Complete tables validate silently, and lookups agree with what
+    /// the BFS installed.
+    #[test]
+    fn validate_routes_accepts_complete_tables() {
+        let mut w = World::new(1);
+        let h0 = w.add_host("H0", SimDuration::from_micros(100));
+        let h1 = w.add_host("H1", SimDuration::from_micros(100));
+        let s0 = w.add_switch("S0");
+        let link = |w: &mut World, x, y| {
+            w.add_channel(
+                x,
+                y,
+                Rate::from_kbps(50),
+                SimDuration::from_millis(10),
+                None,
+                Box::new(DropTail::new()),
+                FaultModel::NONE,
+            )
+        };
+        link(&mut w, h0, s0);
+        let s0h0 = link(&mut w, s0, h0);
+        link(&mut w, h1, s0);
+        let s0h1 = link(&mut w, s0, h1);
+        w.compute_routes();
+        w.validate_routes();
+        assert!(w.missing_routes().is_empty());
+        assert_eq!(w.route_lookup(s0, h0), Some(s0h0));
+        assert_eq!(w.route_lookup(s0, h1), Some(s0h1));
+        assert!(w.route_table_bytes() < w.dense_route_bytes() || w.route_table_bytes() == 0);
     }
 
     #[test]
