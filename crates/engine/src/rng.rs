@@ -14,7 +14,11 @@
 //! described by its config plus one `u64` seed.
 
 /// A seedable `xoshiro256**` pseudo-random generator.
-#[derive(Clone, Debug)]
+///
+/// Equality compares generator state: two `SimRng`s are equal exactly
+/// when their future draw sequences are identical (used by tests pinning
+/// that a code path consumes no randomness).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimRng {
     s: [u64; 4],
 }

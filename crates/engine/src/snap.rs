@@ -60,59 +60,133 @@ impl std::fmt::Display for SnapError {
 
 impl std::error::Error for SnapError {}
 
+/// FNV-1a 64-bit offset basis (hashing sink).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime (hashing sink).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Where a [`SnapWriter`]'s bytes go: an in-memory buffer (the normal
+/// snapshot path) or a streaming FNV-1a fold that never materializes them
+/// (the `state_hash` dedup path — hashing a large world must not allocate
+/// a snapshot-sized buffer per visited state).
+enum Sink {
+    Buf(Vec<u8>),
+    Hash { h: u64, len: u64 },
+}
+
 /// Append-only encoder for snapshot bytes.
-#[derive(Default)]
 pub struct SnapWriter {
-    buf: Vec<u8>,
+    sink: Sink,
+}
+
+impl Default for SnapWriter {
+    fn default() -> Self {
+        SnapWriter::new()
+    }
 }
 
 impl SnapWriter {
     /// An empty writer (for nested, length-prefixed sections).
     pub fn new() -> Self {
-        SnapWriter { buf: Vec::new() }
+        SnapWriter {
+            sink: Sink::Buf(Vec::new()),
+        }
     }
 
     /// A writer primed with a top-level header: 4 magic bytes + version.
     pub fn with_header(magic: &[u8; 4], version: u32) -> Self {
         let mut w = SnapWriter::new();
-        w.buf.extend_from_slice(magic);
+        w.push(magic);
         w.write_u32(version);
         w
     }
 
-    /// Bytes written so far.
+    /// A streaming hasher: every write folds into a 64-bit FNV-1a hash
+    /// instead of a buffer, so hashing a state costs O(1) memory. The
+    /// resulting [`SnapWriter::finish_hash`] equals the FNV-1a hash of the
+    /// exact byte stream a buffer-mode writer would have produced for the
+    /// same write sequence (pinned by a test below).
+    pub fn hashing() -> Self {
+        SnapWriter {
+            sink: Sink::Hash {
+                h: FNV_OFFSET,
+                len: 0,
+            },
+        }
+    }
+
+    /// A streaming hasher primed with the same header bytes as
+    /// [`SnapWriter::with_header`], so a codec version bump changes every
+    /// state hash (stale dedup sets can never alias across versions).
+    pub fn hashing_with_header(magic: &[u8; 4], version: u32) -> Self {
+        let mut w = SnapWriter::hashing();
+        w.push(magic);
+        w.write_u32(version);
+        w
+    }
+
+    /// Funnel for every encoded byte, whichever sink is active.
+    fn push(&mut self, bytes: &[u8]) {
+        match &mut self.sink {
+            Sink::Buf(buf) => buf.extend_from_slice(bytes),
+            Sink::Hash { h, len } => {
+                for &b in bytes {
+                    *h = (*h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+                }
+                *len += bytes.len() as u64;
+            }
+        }
+    }
+
+    /// Bytes written so far (counted, not stored, in hashing mode).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        match &self.sink {
+            Sink::Buf(buf) => buf.len(),
+            Sink::Hash { len, .. } => *len as usize,
+        }
     }
 
     /// True if nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
-    /// Consume the writer, yielding the encoded bytes.
+    /// Consume the writer, yielding the encoded bytes. Panics on a
+    /// [`SnapWriter::hashing`] writer — a hashing sink never stored them.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        match self.sink {
+            Sink::Buf(buf) => buf,
+            Sink::Hash { .. } => panic!("a hashing SnapWriter has no bytes to yield"),
+        }
+    }
+
+    /// The streamed FNV-1a hash. Panics on a buffer-mode writer: callers
+    /// that want a hash must opt into the streaming sink up front.
+    pub fn finish_hash(&self) -> u64 {
+        match &self.sink {
+            Sink::Hash { h, .. } => *h,
+            Sink::Buf(_) => panic!("finish_hash on a buffer-mode SnapWriter"),
+        }
     }
 
     /// Write one byte.
     pub fn write_u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.push(&[v]);
     }
 
     /// Write a little-endian `u32`.
     pub fn write_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.push(&v.to_le_bytes());
     }
 
     /// Write a little-endian `u64`.
     pub fn write_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.push(&v.to_le_bytes());
     }
 
     /// Write a little-endian `i64`.
     pub fn write_i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.push(&v.to_le_bytes());
     }
 
     /// Write an `f64` as its exact IEEE-754 bit pattern.
@@ -128,7 +202,7 @@ impl SnapWriter {
     /// Write a length-prefixed byte string.
     pub fn write_bytes(&mut self, b: &[u8]) {
         self.write_u64(b.len() as u64);
-        self.buf.extend_from_slice(b);
+        self.push(b);
     }
 
     /// Write a length-prefixed UTF-8 string.
@@ -157,8 +231,16 @@ impl SnapWriter {
     /// The matching [`SnapReader::read_section`] verifies the section was
     /// consumed exactly, so a save/load mismatch in any component fails
     /// loudly at its own boundary instead of corrupting every later field.
+    ///
+    /// The inner writer must be buffer-mode (sections need their length up
+    /// front, which a hashing sink cannot provide); the *outer* writer may
+    /// be either — hashing a world streams each small section buffer
+    /// through the fold without ever holding the whole snapshot.
     pub fn write_section(&mut self, inner: SnapWriter) {
-        self.write_bytes(&inner.buf);
+        match inner.sink {
+            Sink::Buf(buf) => self.write_bytes(&buf),
+            Sink::Hash { .. } => panic!("a section writer must be buffer-mode"),
+        }
     }
 }
 
@@ -401,6 +483,72 @@ mod tests {
         let mut r = SnapReader::new(&bytes);
         let err = r.read_section(|s| s.read_u64()).unwrap_err();
         assert!(matches!(err, SnapError::Corrupt(_)), "{err}");
+    }
+
+    /// Reference FNV-1a fold, independent of the writer's internal one.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        bytes.iter().fold(FNV_OFFSET, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+        })
+    }
+
+    /// Drive the same mixed write sequence through either sink.
+    fn write_everything(w: &mut SnapWriter) {
+        w.write_u8(9);
+        w.write_u32(0xCAFE_F00D);
+        w.write_u64(1 << 63);
+        w.write_i64(-7);
+        w.write_f64(3.5);
+        w.write_bool(false);
+        w.write_bytes(b"payload");
+        w.write_str("nøtes");
+        w.write_time(SimTime::from_nanos(55));
+        w.write_dur(SimDuration::from_nanos(66));
+        w.write_rng(&SimRng::new(4));
+        let mut section = SnapWriter::new();
+        section.write_u64(1234);
+        w.write_section(section);
+    }
+
+    #[test]
+    fn hashing_sink_matches_fnv_of_buffered_bytes() {
+        let mut buffered = SnapWriter::with_header(b"TEST", 7);
+        write_everything(&mut buffered);
+        let mut hashing = SnapWriter::hashing_with_header(b"TEST", 7);
+        write_everything(&mut hashing);
+        assert_eq!(hashing.len(), buffered.len());
+        let bytes = buffered.into_bytes();
+        assert_eq!(hashing.finish_hash(), fnv1a(&bytes));
+    }
+
+    #[test]
+    fn hashing_sink_is_order_and_value_sensitive() {
+        let mut a = SnapWriter::hashing();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = SnapWriter::hashing();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish_hash(), b.finish_hash());
+        let mut c = SnapWriter::hashing();
+        c.write_u64(1);
+        c.write_u64(3);
+        assert_ne!(a.finish_hash(), c.finish_hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "no bytes to yield")]
+    fn hashing_sink_refuses_into_bytes() {
+        let mut w = SnapWriter::hashing();
+        w.write_u8(1);
+        let _ = w.into_bytes();
+    }
+
+    #[test]
+    #[should_panic(expected = "finish_hash on a buffer-mode")]
+    fn buffer_sink_refuses_finish_hash() {
+        let w = SnapWriter::new();
+        let _ = w.finish_hash();
     }
 
     #[test]

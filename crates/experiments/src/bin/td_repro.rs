@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! td-repro list                       # show available experiment ids
+//! td-repro --list                     # full registry incl. hidden entries
 //! td-repro all [--full] [--seed N] [--jobs N] [--out DIR]
 //! td-repro fig45 [--full] [--seed N] [--out DIR]
 //! td-repro --resume DIR [--jobs N]    # continue an interrupted sweep
+//! td-repro mc [--seed N] [...]        # bounded model checking (fig45)
+//! td-repro mc --replay FILE.tdmc      # reproduce a counterexample
 //! ```
 //!
 //! Experiments run on a worker pool fed by one global job budget
@@ -49,7 +52,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Mutex;
 use td_experiments::journal::{Journal, JournalHeader};
-use td_experiments::registry::{find, registry, Entry, Profile};
+use td_experiments::registry::{find, hidden, registry, Entry, Profile};
 use td_experiments::runner::{default_jobs, run_batch_resumable, BatchResult, RunnerConfig};
 
 /// Graceful-shutdown signal handling (SIGINT / SIGTERM).
@@ -205,6 +208,9 @@ fn usage() {
     println!();
     println!("usage: td-repro <id|all|list> [--full] [--seed N] [--jobs N] [--out DIR]");
     println!("       td-repro --resume DIR [--jobs N]");
+    println!("       td-repro --list     (full registry, hidden entries flagged)");
+    println!("       td-repro mc [--seed N] [--full] [--grid N] [--seed-violation]");
+    println!("                   [--artifacts DIR] | --replay FILE.tdmc");
     println!();
     println!("experiments:");
     for e in registry() {
@@ -232,7 +238,218 @@ fn usage() {
     println!("                   completed cells replay, only missing cells run");
 }
 
+/// Print the full registry — public entries first, then the hidden
+/// drills — as `(id, hidden flag, title)` rows.
+fn print_list() {
+    for e in registry() {
+        println!("{:<14} {:<8} {}", e.id, "", e.about);
+    }
+    for e in hidden() {
+        println!("{:<14} {:<8} {}", e.id, "hidden", e.about);
+    }
+}
+
+/// `td-repro mc` — bounded model checking of the fig45 scenario.
+///
+/// Explore mode prints the exploration counters and any counterexamples
+/// (exit 0 when the verdict matches expectation: a clean tree normally,
+/// at least one counterexample under `--seed-violation`). Replay mode
+/// (`--replay FILE.tdmc`) re-executes a schedule and exits 0 only if it
+/// reproduces a violation or stall.
+fn mc_main(argv: &[String]) -> ExitCode {
+    use td_experiments::mc::{explore_fig45, replay_fig45, McParams};
+    use td_net::mc::McSchedule;
+
+    let mut seed = 1u64;
+    let mut full = false;
+    let mut grid: Option<usize> = None;
+    let mut outage_ms: Option<u64> = None;
+    let mut max_decisions: Option<usize> = None;
+    let mut max_states: Option<u64> = None;
+    let mut no_drops = false;
+    let mut seed_violation = false;
+    let mut artifacts: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        let r: Result<(), String> = (|| {
+            match a.as_str() {
+                "--seed" => {
+                    let v = next("--seed")?;
+                    seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                }
+                "--full" => full = true,
+                "--quick" => full = false,
+                "--grid" => {
+                    let v = next("--grid")?;
+                    grid = Some(v.parse().map_err(|_| format!("bad grid size: {v}"))?);
+                }
+                "--outage-ms" => {
+                    let v = next("--outage-ms")?;
+                    outage_ms = Some(v.parse().map_err(|_| format!("bad outage: {v}"))?);
+                }
+                "--max-decisions" => {
+                    let v = next("--max-decisions")?;
+                    max_decisions = Some(v.parse().map_err(|_| format!("bad depth: {v}"))?);
+                }
+                "--max-states" => {
+                    let v = next("--max-states")?;
+                    max_states = Some(v.parse().map_err(|_| format!("bad budget: {v}"))?);
+                }
+                "--no-drops" => no_drops = true,
+                "--seed-violation" => seed_violation = true,
+                "--artifacts" => artifacts = Some(PathBuf::from(next("--artifacts")?)),
+                "--replay" => replay = Some(PathBuf::from(next("--replay")?)),
+                other => return Err(format!("unknown mc flag: {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: td-repro mc [--seed N] [--full] [--grid N] [--outage-ms N]\n\
+                 \x20                 [--max-decisions N] [--max-states N] [--no-drops]\n\
+                 \x20                 [--seed-violation] [--artifacts DIR]\n\
+                 \x20      td-repro mc --replay FILE.tdmc"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = replay {
+        let sched = match McSchedule::read_from_file(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read schedule {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "mc replay: {} — seed {}, {} decision(s), seeded-violation prelude: {}",
+            path.display(),
+            sched.seed,
+            sched.decisions.len(),
+            if sched.seeded_violation { "yes" } else { "no" }
+        );
+        for &(gi, d) in &sched.decisions {
+            println!(
+                "  decision @{gi} ({:?}): {}",
+                sched.grid[gi as usize],
+                d.render()
+            );
+        }
+        let out = replay_fig45(&sched);
+        for v in &out.violations {
+            println!("violation: {v}");
+        }
+        if let Some(s) = &out.stall {
+            println!("stall: {s}");
+        }
+        if out.violations.is_empty() && out.stall.is_none() {
+            eprintln!("schedule replayed clean: no violation or stall reproduced");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "reproduced {} violation(s){}",
+            out.violations.len(),
+            if out.stall.is_some() { " + stall" } else { "" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut p = if full {
+        McParams::full(seed)
+    } else {
+        McParams::quick(seed)
+    };
+    if let Some(g) = grid {
+        p.grid_points = g;
+    }
+    if let Some(ms) = outage_ms {
+        p.outage = td_engine::SimDuration::from_millis(ms);
+    }
+    if let Some(d) = max_decisions {
+        p.max_decisions = d;
+    }
+    if let Some(s) = max_states {
+        p.max_states = s;
+    }
+    p.enable_drops = !no_drops;
+    p.seeded_violation = seed_violation;
+    p.artifact_dir = artifacts;
+
+    println!(
+        "mc: fig45 bounded exploration — seed {seed}, {} grid point(s), \
+         outage {} ms, <= {} decision(s)/path, budget {} states{}",
+        p.grid_points,
+        p.outage.as_nanos() / 1_000_000,
+        p.max_decisions,
+        p.max_states,
+        if p.seeded_violation {
+            " [seeded violation]"
+        } else {
+            ""
+        }
+    );
+    let run = explore_fig45(&p);
+    let s = &run.stats;
+    println!(
+        "mc: window [{:?}, {:?}], horizon {:?}",
+        run.grid.first().unwrap(),
+        run.grid.last().unwrap(),
+        run.horizon
+    );
+    println!(
+        "mc: visited={} deduped={} pruned={} max_depth={} counterexamples={}",
+        s.states_visited,
+        s.states_deduped,
+        s.states_pruned,
+        s.max_depth,
+        s.counterexamples.len()
+    );
+    for (i, cex) in s.counterexamples.iter().enumerate() {
+        let path: Vec<String> = cex
+            .schedule
+            .decisions
+            .iter()
+            .map(|&(gi, d)| format!("@{gi} {}", d.render()))
+            .collect();
+        println!("counterexample {i}: [{}]", path.join(", "));
+        for v in &cex.violations {
+            println!("  violation: {v}");
+        }
+        if let Some(st) = &cex.stall {
+            println!("  stall: {st}");
+        }
+        if let Some(sp) = &cex.schedule_path {
+            println!("  schedule: {}", sp.display());
+        }
+        if let Some(np) = &cex.snapshot_path {
+            println!("  snapshot: {}", np.display());
+        }
+    }
+    // A clean tree is the expected verdict normally; under
+    // --seed-violation the expectation inverts — the harness must find
+    // (and persist) the seeded counterexamples.
+    if s.counterexamples.is_empty() != p.seeded_violation {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("mc") {
+        return mc_main(&raw[1..]);
+    }
+    if raw.iter().any(|a| a == "--list") {
+        print_list();
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -499,6 +499,7 @@ mod tests {
                 reports: vec!["violation".into()],
             },
             snap: Default::default(),
+            mc: Default::default(),
             replayed: false,
         }
     }

@@ -20,6 +20,7 @@ pub mod fig45;
 pub mod fig67;
 pub mod fig89;
 pub mod journal;
+pub mod mc;
 pub mod modes;
 pub mod multihop;
 pub mod oneway_util;

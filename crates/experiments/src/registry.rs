@@ -164,7 +164,7 @@ pub fn registry() -> Vec<Entry> {
 }
 
 /// Entries addressable with `--only` but excluded from `--all`:
-/// resource-budget drills rather than paper claims.
+/// resource-budget and robustness drills rather than paper claims.
 pub fn hidden() -> Vec<Entry> {
     vec![
         Entry {
@@ -176,6 +176,11 @@ pub fn hidden() -> Vec<Entry> {
             id: "scale1m",
             about: "1M-connection rung: 6400-cluster chain, compressed routes, pinned RSS budget",
             runner: crate::scale::report_1m,
+        },
+        Entry {
+            id: "mc_fig45",
+            about: "Bounded model checking: fault placements across one fig45 congestion epoch",
+            runner: crate::mc::report,
         },
     ]
 }
@@ -207,9 +212,10 @@ mod tests {
         // Hidden entries resolve by id but stay out of the listing.
         assert!(find("scale100k").is_some());
         assert!(find("scale1m").is_some());
+        assert!(find("mc_fig45").is_some());
         assert!(registry()
             .iter()
-            .all(|e| e.id != "scale100k" && e.id != "scale1m"));
+            .all(|e| e.id != "scale100k" && e.id != "scale1m" && e.id != "mc_fig45"));
     }
 
     #[test]

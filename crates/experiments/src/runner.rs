@@ -207,6 +207,10 @@ pub struct ExperimentResult {
     /// Snapshot/restore activity while the task ran (watchdog
     /// post-mortems included), surfaced through `timings.json`.
     pub snap: SnapCounters,
+    /// Model-checking exploration counters for this task (states
+    /// visited/deduped/pruned, max depth, counterexamples), surfaced
+    /// through `timings.json`'s per-row and batch-level `mc` blocks.
+    pub mc: td_net::mc::tally::McTally,
     /// True if this cell was replayed from a results journal instead of
     /// executed (`--resume`).
     pub replayed: bool,
@@ -316,6 +320,24 @@ impl BatchResult {
         let snap_restored: u64 = self.results.iter().map(|r| r.snap.restored).sum();
         out.push_str(&format!("  \"snapshots_taken\": {snap_taken},\n"));
         out.push_str(&format!("  \"snapshots_restored\": {snap_restored},\n"));
+        // Batch-level model-checking block: exploration counters summed
+        // across every cell (depth as the maximum), so CI can pin the
+        // whole batch's coverage with one lookup.
+        let mc_visited: u64 = self.results.iter().map(|r| r.mc.states_visited).sum();
+        let mc_deduped: u64 = self.results.iter().map(|r| r.mc.states_deduped).sum();
+        let mc_pruned: u64 = self.results.iter().map(|r| r.mc.states_pruned).sum();
+        let mc_depth: u64 = self
+            .results
+            .iter()
+            .map(|r| r.mc.max_depth)
+            .max()
+            .unwrap_or(0);
+        let mc_cex: u64 = self.results.iter().map(|r| r.mc.counterexamples).sum();
+        out.push_str(&format!(
+            "  \"mc\": {{\"states_visited\": {mc_visited}, \"states_deduped\": {mc_deduped}, \
+             \"states_pruned\": {mc_pruned}, \"max_depth\": {mc_depth}, \
+             \"counterexamples\": {mc_cex}}},\n"
+        ));
         out.push_str("  \"experiments\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let t = &r.timing;
@@ -340,6 +362,8 @@ impl BatchResult {
                  \"peak_rss_is_process_max\": {}, \
                  \"audit_violations\": {}, \"audit\": {audit}, \
                  \"snapshots_taken\": {}, \"snapshots_restored\": {}, \
+                 \"mc\": {{\"states_visited\": {}, \"states_deduped\": {}, \
+                 \"states_pruned\": {}, \"max_depth\": {}, \"counterexamples\": {}}}, \
                  \"replayed\": {}, \
                  \"metrics\": {{{metrics}}}, \"diagnostics\": {diagnostics}}}{}\n",
                 r.id,
@@ -355,6 +379,11 @@ impl BatchResult {
                 r.audit.total,
                 r.snap.taken,
                 r.snap.restored,
+                r.mc.states_visited,
+                r.mc.states_deduped,
+                r.mc.states_pruned,
+                r.mc.max_depth,
+                r.mc.counterexamples,
                 r.replayed,
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
@@ -521,6 +550,7 @@ pub fn run_batch_resumable(
             timing: cell.timing,
             audit: cell.audit,
             snap: SnapCounters::default(),
+            mc: td_net::mc::tally::McTally::default(),
             replayed: true,
         };
         if slots[task].set(result).is_ok() {
@@ -566,6 +596,7 @@ pub fn run_batch_resumable(
                     td_engine::telemetry::reset();
                     td_net::audit::reset_thread();
                     snapcount::reset_thread();
+                    td_net::mc::tally::reset_thread();
                     let rss_reset = reset_peak_rss();
                     let t0 = Instant::now();
                     let outcome =
@@ -574,6 +605,7 @@ pub fn run_batch_resumable(
                     let telem = td_engine::telemetry::snapshot();
                     let audit = td_net::audit::take_thread();
                     let snap = snapcount::take_thread();
+                    let mc = td_net::mc::tally::take_thread();
                     let (report, panic) = match outcome {
                         Ok(report) => (report, None),
                         Err(payload) => {
@@ -598,6 +630,7 @@ pub fn run_batch_resumable(
                         },
                         audit,
                         snap,
+                        mc,
                         replayed: false,
                     };
                     // Journal before publishing the slot: after `append`

@@ -77,10 +77,10 @@ fn post_mortem_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("postmortem")
 }
 
-/// An experiment whose world stalls; the watchdog verdict goes into the
-/// report's diagnostics instead of hanging or panicking, and the stalled
-/// world is dumped as a post-mortem snapshot.
-fn stalling(_seed: u64, _profile: Profile) -> Report {
+/// Two hosts, one wedged connection: the minimal world that deadlocks.
+/// Built identically on every call so a post-mortem snapshot from one
+/// instance restores onto a fresh "twin" instance.
+fn wedged_world() -> World {
     let mut w = World::new(1);
     let h0 = w.add_host("H0", SimDuration::from_micros(100));
     let h1 = w.add_host("H1", SimDuration::from_micros(100));
@@ -97,6 +97,14 @@ fn stalling(_seed: u64, _profile: Profile) -> Report {
     }
     let ep = w.attach(h0, h1, td_net::ConnId(0), Box::new(Wedged));
     w.start_at(ep, SimTime::ZERO);
+    w
+}
+
+/// An experiment whose world stalls; the watchdog verdict goes into the
+/// report's diagnostics instead of hanging or panicking, and the stalled
+/// world is dumped as a post-mortem snapshot.
+fn stalling(_seed: u64, _profile: Profile) -> Report {
+    let mut w = wedged_world();
     let outcome = w.run_until_quiescent(
         SimTime::ZERO + SimDuration::from_secs(10),
         &WatchdogConfig {
@@ -157,4 +165,39 @@ fn forced_stall_surfaces_in_timings_json() {
     // The dump is a loadable snapshot, not just bytes on disk.
     let loaded = td_net::Snapshot::read_from_file(&dumps[0].path());
     assert!(loaded.is_ok(), "post-mortem snapshot unreadable");
+}
+
+/// A post-mortem dump is not merely loadable — restoring it onto a
+/// structurally identical twin world reproduces the dumped state
+/// byte-for-byte, so the post-mortem loop (dump at stall, restore
+/// offline, inspect) is lossless. Uses its own dump directory so the
+/// other stall test's artifacts can't mask a missing file.
+#[test]
+fn post_mortem_snapshot_round_trips_onto_twin() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("postmortem-roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = wedged_world();
+    let outcome = w.run_until_quiescent(
+        SimTime::ZERO + SimDuration::from_secs(10),
+        &WatchdogConfig {
+            post_mortem_dir: Some(dir.clone()),
+            ..WatchdogConfig::default()
+        },
+    );
+    assert!(outcome.is_stalled(), "wedged world failed to stall");
+    let dump = std::fs::read_dir(&dir)
+        .expect("post-mortem dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "tdsnap"))
+        .expect("watchdog wrote a .tdsnap dump");
+    let bytes = std::fs::read(&dump).unwrap();
+    let snap = td_net::Snapshot::read_from_file(&dump).unwrap();
+    let mut twin = wedged_world();
+    twin.restore(&snap).expect("restore onto structural twin");
+    assert_eq!(
+        twin.snapshot().as_bytes(),
+        &bytes[..],
+        "restored twin re-snapshots to different bytes than the dump"
+    );
 }

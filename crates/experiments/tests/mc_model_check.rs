@@ -1,0 +1,166 @@
+//! Model-checking acceptance, end to end: the bounded fig45 exploration
+//! is exhaustive-within-budget, violation-free, and byte-deterministic
+//! (counters pinned); a seeded violation produces counterexample
+//! artifacts whose replay — through the library and through the
+//! `td-repro mc --replay` CLI — reproduces the identical violation
+//! record; and `td-repro --list` exposes the full registry.
+
+use std::path::Path;
+use std::process::Command;
+use td_experiments::mc::{explore_fig45, replay_fig45, McParams};
+use td_experiments::registry::{find, Profile};
+use td_net::mc::McSchedule;
+
+/// Pinned coverage of the quick-profile exploration at seed 1. These are
+/// a pure function of `(seed, McParams::quick)` — a drift means the
+/// explorer, the scenario, or the state hash changed behaviour and must
+/// be investigated, not re-pinned blindly. CI re-checks the same numbers
+/// from `timings.json`'s `mc` block.
+const PIN_VISITED: u64 = 44;
+const PIN_DEDUPED: u64 = 0;
+const PIN_PRUNED: u64 = 96;
+
+#[test]
+fn quick_exploration_is_clean_and_pinned() {
+    let run = explore_fig45(&McParams::quick(1));
+    assert!(
+        run.stats.counterexamples.is_empty(),
+        "clean scenario produced counterexamples: {:?}",
+        run.stats.counterexamples
+    );
+    assert_eq!(run.stats.states_visited, PIN_VISITED);
+    assert_eq!(run.stats.states_deduped, PIN_DEDUPED);
+    assert_eq!(run.stats.states_pruned, PIN_PRUNED);
+    assert_eq!(run.stats.max_depth, 1);
+}
+
+#[test]
+fn registry_entry_reports_pinned_metrics() {
+    let rep = find("mc_fig45").unwrap().run(1, Profile::Quick);
+    assert!(rep.all_ok(), "failed checks: {:?}\n{rep}", rep.failures());
+    let metric = |k: &str| {
+        rep.metrics
+            .iter()
+            .find(|(n, _)| n.as_str() == k)
+            .unwrap_or_else(|| panic!("metric {k} missing"))
+            .1
+    };
+    assert_eq!(metric("mc_states_visited") as u64, PIN_VISITED);
+    assert_eq!(metric("mc_states_deduped") as u64, PIN_DEDUPED);
+    assert_eq!(metric("mc_states_pruned") as u64, PIN_PRUNED);
+    assert_eq!(metric("mc_counterexamples") as u64, 0);
+}
+
+#[test]
+fn seeded_counterexamples_replay_to_identical_records() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("mc-cex");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut p = McParams::quick(1);
+    p.seeded_violation = true;
+    p.artifact_dir = Some(dir.clone());
+    let run = explore_fig45(&p);
+    assert!(
+        !run.stats.counterexamples.is_empty(),
+        "seeded violation found no counterexamples"
+    );
+    for (i, cex) in run.stats.counterexamples.iter().enumerate() {
+        let sched = McSchedule::read_from_file(&dir.join(format!("cex-{i}.tdmc"))).unwrap();
+        assert_eq!(
+            sched, cex.schedule,
+            "artifact differs from in-memory schedule"
+        );
+        assert!(sched.seeded_violation, "prelude requirement not recorded");
+        let out = replay_fig45(&sched);
+        assert!(!cex.violations.is_empty());
+        assert_eq!(out.violations, cex.violations, "replay diverged (cex {i})");
+        assert_eq!(out.stall, cex.stall);
+    }
+    // The pre-violation snapshot artifact is a loadable snapshot.
+    let snap = td_net::Snapshot::read_from_file(&dir.join("cex-0.tdsnap"));
+    assert!(snap.is_ok(), "pre-violation snapshot unreadable");
+}
+
+#[test]
+fn list_flag_prints_full_registry_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_td-repro"))
+        .arg("--list")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "--list must exit 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for e in td_experiments::registry::registry() {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(e.id))
+            .unwrap_or_else(|| panic!("--list misses {}", e.id));
+        assert!(line.contains(e.about), "title missing for {}", e.id);
+        assert!(!line.contains("hidden"), "{} wrongly flagged hidden", e.id);
+    }
+    for e in td_experiments::registry::hidden() {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(e.id))
+            .unwrap_or_else(|| panic!("--list misses hidden {}", e.id));
+        assert!(line.contains("hidden"), "{} not flagged hidden", e.id);
+    }
+}
+
+/// The CLI acceptance loop: `mc --seed-violation` writes artifacts and
+/// exits 0 (expectation met); `mc --replay` on the first schedule
+/// reproduces exactly the violation lines the exploration printed for
+/// that counterexample.
+#[test]
+fn cli_seeded_explore_then_replay_round_trips() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("mc-cli");
+    let _ = std::fs::remove_dir_all(&dir);
+    let bin = env!("CARGO_BIN_EXE_td-repro");
+
+    let explore = Command::new(bin)
+        .args(["mc", "--seed-violation", "--artifacts"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        explore.status.success(),
+        "seeded explore failed: {}",
+        String::from_utf8_lossy(&explore.stderr)
+    );
+    let explore_out = String::from_utf8(explore.stdout).unwrap();
+    assert!(explore_out.contains("counterexample 0:"));
+
+    // The violation lines the exploration attributed to counterexample 0.
+    let mut expected = Vec::new();
+    let mut in_cex0 = false;
+    for line in explore_out.lines() {
+        if line.starts_with("counterexample 0:") {
+            in_cex0 = true;
+            continue;
+        }
+        if in_cex0 {
+            if let Some(v) = line.trim_start().strip_prefix("violation: ") {
+                expected.push(v.to_owned());
+            } else if !line.starts_with(' ') {
+                break;
+            }
+        }
+    }
+    assert!(!expected.is_empty(), "no violations printed for cex 0");
+
+    let replay = Command::new(bin)
+        .args(["mc", "--replay"])
+        .arg(dir.join("cex-0.tdmc"))
+        .output()
+        .unwrap();
+    assert!(
+        replay.status.success(),
+        "replay failed to reproduce: {}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    let replay_out = String::from_utf8(replay.stdout).unwrap();
+    let got: Vec<String> = replay_out
+        .lines()
+        .filter_map(|l| l.strip_prefix("violation: ").map(str::to_owned))
+        .collect();
+    assert_eq!(got, expected, "replay record differs from exploration's");
+    assert!(replay_out.contains("reproduced"));
+}

@@ -15,7 +15,7 @@
 //! and queue fields.
 
 use crate::discipline::Discipline;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, Outage};
 use crate::packet::{NodeId, Packet};
 use crate::world::ChannelStats;
 use std::collections::VecDeque;
@@ -37,6 +37,9 @@ pub(crate) struct ChannelArena {
     discipline: Vec<Box<dyn Discipline>>,
     fault: Vec<FaultPlan>,
     rng: Vec<SimRng>,
+    // -- model-checking fault overlay (empty outside `td_net::mc`) --
+    injected_outages: Vec<Vec<Outage>>,
+    forced_drops: Vec<u32>,
 }
 
 /// A mutable view of one channel, shaped like the old per-object struct:
@@ -51,12 +54,20 @@ pub(crate) struct ChannelMut<'a> {
     pub discipline: &'a mut dyn Discipline,
     pub fault: &'a mut FaultPlan,
     pub rng: &'a mut SimRng,
+    pub injected_outages: &'a [Outage],
+    pub forced_drops: &'a mut u32,
 }
 
 impl ChannelMut<'_> {
     /// Buffer occupancy: waiting packets plus the one in service.
     pub fn occupancy(&self) -> u32 {
         self.discipline.len() as u32 + self.in_service.is_some() as u32
+    }
+
+    /// True if the link is down at instant `t`, under either the static
+    /// fault plan or a dynamically injected model-checking outage.
+    pub fn link_down(&self, t: SimTime) -> bool {
+        self.fault.is_down(t) || self.injected_outages.iter().any(|o| o.covers(t))
     }
 }
 
@@ -75,6 +86,8 @@ impl ChannelArena {
             discipline: Vec::new(),
             fault: Vec::new(),
             rng: Vec::new(),
+            injected_outages: Vec::new(),
+            forced_drops: Vec::new(),
         }
     }
 
@@ -106,6 +119,8 @@ impl ChannelArena {
         self.discipline.push(discipline);
         self.fault.push(fault);
         self.rng.push(rng);
+        self.injected_outages.push(Vec::new());
+        self.forced_drops.push(0);
         i
     }
 
@@ -120,6 +135,8 @@ impl ChannelArena {
             discipline: self.discipline[i].as_mut(),
             fault: &mut self.fault[i],
             rng: &mut self.rng[i],
+            injected_outages: &self.injected_outages[i],
+            forced_drops: &mut self.forced_drops[i],
         }
     }
 
@@ -178,6 +195,21 @@ impl ChannelArena {
     }
     pub fn fault_mut(&mut self, i: usize) -> &mut FaultPlan {
         &mut self.fault[i]
+    }
+    pub fn injected_outages(&self, i: usize) -> &[Outage] {
+        &self.injected_outages[i]
+    }
+    pub fn injected_outages_mut(&mut self, i: usize) -> &mut Vec<Outage> {
+        &mut self.injected_outages[i]
+    }
+    pub fn set_injected_outages(&mut self, i: usize, outages: Vec<Outage>) {
+        self.injected_outages[i] = outages;
+    }
+    pub fn forced_drops(&self, i: usize) -> u32 {
+        self.forced_drops[i]
+    }
+    pub fn set_forced_drops(&mut self, i: usize, n: u32) {
+        self.forced_drops[i] = n;
     }
 
     /// Buffer occupancy of channel `i` (waiting + in service).

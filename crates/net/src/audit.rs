@@ -381,6 +381,34 @@ impl Audit {
         w.write_bool(self.conservation_flagged);
     }
 
+    /// Stream the *behavioral* subset of the auditor into a canonical
+    /// state encoding (see `World::state_hash`): the packet balance
+    /// still in the network (not the absolute totals — two histories
+    /// with different throughput but identical in-flight packets behave
+    /// identically), the protocol-visible ACK high-water marks and
+    /// window bounds (sorted, like [`Audit::save_state`]), and the
+    /// conservation latch. Recorded violations and their count are
+    /// reporting, not state, and are excluded.
+    pub(crate) fn write_canonical(&self, w: &mut td_engine::SnapWriter) {
+        w.write_i64(self.injected as i64 - self.delivered as i64 - self.dropped as i64);
+        let mut acks: Vec<_> = self.last_ack.iter().collect();
+        acks.sort_by_key(|((c, n), _)| (c.0, n.0));
+        w.write_u64(acks.len() as u64);
+        for ((c, n), seq) in acks {
+            w.write_u32(c.0);
+            w.write_u32(n.0);
+            w.write_u64(*seq);
+        }
+        let mut bounds: Vec<_> = self.window_bounds.iter().collect();
+        bounds.sort_by_key(|(c, _)| c.0);
+        w.write_u64(bounds.len() as u64);
+        for (c, b) in bounds {
+            w.write_u32(c.0);
+            w.write_f64(*b);
+        }
+        w.write_bool(self.conservation_flagged);
+    }
+
     /// Restore state written by [`Audit::save_state`].
     ///
     /// Fields are assigned directly, never through [`Audit::record`]:

@@ -203,7 +203,7 @@ impl Outage {
     /// True if a packet occupying the wire over `(tx_end, arrival]` is
     /// destroyed by this outage: the outage begins before the packet
     /// lands and ends after the packet launched.
-    fn cuts(&self, tx_end: SimTime, arrival: SimTime) -> bool {
+    pub(crate) fn cuts(&self, tx_end: SimTime, arrival: SimTime) -> bool {
         self.down < arrival && tx_end < self.up || self.covers(tx_end)
     }
 }
@@ -267,11 +267,25 @@ impl FaultPlan {
     };
 
     /// A plan with only the scheduled outages set.
+    ///
+    /// The schedule is validated **at construction**: a zero-length,
+    /// reversed, unsorted, or overlapping window panics immediately,
+    /// naming the offending window. A malformed schedule used to slip
+    /// through here and only misbehave (or be rejected by
+    /// [`crate::World::set_fault_plan`]) much later — under systematic
+    /// exploration, where schedules are machine-generated per branch, the
+    /// construction site is the only place a useful backtrace exists.
+    /// Callers that want fallible validation instead build the plan with a
+    /// struct literal and call [`FaultPlan::validate`].
     pub fn with_outages(outages: Vec<Outage>) -> Self {
-        FaultPlan {
+        let plan = FaultPlan {
             outages,
             ..FaultPlan::NONE
+        };
+        if let Err(e) = plan.validate() {
+            panic!("malformed outage schedule: {e}");
         }
+        plan
     }
 
     /// A plan with only a burst-loss process set.
@@ -305,21 +319,27 @@ impl FaultPlan {
         if let Some(j) = &self.jitter {
             check_prob("jitter prob", j.prob)?;
         }
-        let mut prev_up = SimTime::ZERO;
+        let mut prev = None::<Outage>;
         for (i, o) in self.outages.iter().enumerate() {
             if o.up <= o.down {
                 return Err(FaultError(format!(
-                    "outage {i} has up ({:?}) <= down ({:?})",
-                    o.up, o.down
+                    "outage {i} [{:?}, {:?}) has up <= down (zero-length or reversed window)",
+                    o.down, o.up
                 )));
             }
-            if i > 0 && o.down < prev_up {
-                return Err(FaultError(format!(
-                    "outage {i} overlaps or precedes outage {}",
-                    i - 1
-                )));
+            if let Some(p) = prev {
+                if o.down < p.up {
+                    return Err(FaultError(format!(
+                        "outage {i} [{:?}, {:?}) overlaps or precedes outage {} [{:?}, {:?})",
+                        o.down,
+                        o.up,
+                        i - 1,
+                        p.down,
+                        p.up
+                    )));
+                }
             }
-            prev_up = o.up;
+            prev = Some(*o);
         }
         Ok(())
     }
@@ -493,14 +513,27 @@ mod tests {
         assert!(!o.cuts(SimTime::from_secs(20), SimTime::from_secs(22)));
     }
 
+    /// Build a plan around a possibly-malformed schedule *without* the
+    /// construction-time panic, for exercising the fallible `validate`.
+    fn raw_plan(outages: Vec<Outage>) -> FaultPlan {
+        FaultPlan {
+            outages,
+            ..FaultPlan::NONE
+        }
+    }
+
     #[test]
     fn plan_validation_rejects_malformed_outages() {
-        let bad_order = FaultPlan::with_outages(vec![Outage {
+        let bad_order = raw_plan(vec![Outage {
             down: SimTime::from_secs(5),
             up: SimTime::from_secs(5),
         }]);
-        assert!(bad_order.validate().is_err());
-        let overlapping = FaultPlan::with_outages(vec![
+        let err = bad_order.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("outage 0"),
+            "error does not name the window: {err}"
+        );
+        let overlapping = raw_plan(vec![
             Outage {
                 down: SimTime::from_secs(1),
                 up: SimTime::from_secs(10),
@@ -510,7 +543,11 @@ mod tests {
                 up: SimTime::from_secs(20),
             },
         ]);
-        assert!(overlapping.validate().is_err());
+        let err = overlapping.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("outage 1") && err.contains("overlaps"),
+            "error does not name both windows: {err}"
+        );
         let ok = FaultPlan::with_outages(vec![
             Outage {
                 down: SimTime::from_secs(1),
@@ -527,6 +564,88 @@ mod tests {
             ..FaultPlan::NONE
         };
         assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outage 0")]
+    fn with_outages_panics_on_zero_length_window() {
+        let _ = FaultPlan::with_outages(vec![Outage {
+            down: SimTime::from_secs(3),
+            up: SimTime::from_secs(3),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "up <= down")]
+    fn with_outages_panics_on_reversed_window() {
+        let _ = FaultPlan::with_outages(vec![Outage {
+            down: SimTime::from_secs(9),
+            up: SimTime::from_secs(2),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps or precedes outage 0")]
+    fn with_outages_panics_on_overlapping_windows() {
+        let _ = FaultPlan::with_outages(vec![
+            Outage {
+                down: SimTime::from_secs(1),
+                up: SimTime::from_secs(10),
+            },
+            Outage {
+                down: SimTime::from_secs(5),
+                up: SimTime::from_secs(20),
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps or precedes")]
+    fn with_outages_panics_on_unsorted_windows() {
+        let _ = FaultPlan::with_outages(vec![
+            Outage {
+                down: SimTime::from_secs(20),
+                up: SimTime::from_secs(30),
+            },
+            Outage {
+                down: SimTime::from_secs(1),
+                up: SimTime::from_secs(5),
+            },
+        ]);
+    }
+
+    /// Satellite property: over a long run, the empirical Gilbert–Elliott
+    /// loss rate converges to the stationary rate its transition
+    /// probabilities imply — `p_enter / (p_enter + p_exit) * loss_bad` —
+    /// across a grid of parameter combinations, each on its own isolated
+    /// RNG stream (derived the way `World::add_channel` derives per-channel
+    /// fault streams, so the test exercises the production stream shape).
+    #[test]
+    fn gilbert_elliott_converges_to_stationary_loss_rate() {
+        const FAULT_STREAM: u64 = 0xFA17_57F3_A400_0000;
+        let n = 400_000u64;
+        for (ch, (p_enter, p_exit, loss_bad)) in [
+            (0u64, (0.05, 0.20, 1.0)),
+            (1, (0.01, 0.10, 0.8)),
+            (2, (0.30, 0.30, 0.5)),
+            (3, (0.002, 0.05, 1.0)),
+        ] {
+            let mut rng = SimRng::new(42).derive(FAULT_STREAM ^ ch);
+            let mut ge = GilbertElliott::new(p_enter, p_exit, loss_bad).unwrap();
+            let losses = (0..n).filter(|_| ge.roll(&mut rng)).count();
+            let stationary = p_enter / (p_enter + p_exit) * loss_bad;
+            let empirical = losses as f64 / n as f64;
+            // Burst correlation inflates the variance well beyond the
+            // i.i.d. binomial sigma; a ±15% relative band (floored for
+            // tiny rates) is comfortably tight at n = 400k for these
+            // mixing rates while never flaking across seeds.
+            let tol = (stationary * 0.15).max(0.004);
+            assert!(
+                (empirical - stationary).abs() < tol,
+                "channel {ch}: empirical {empirical:.4} vs stationary {stationary:.4} \
+                 (p_enter={p_enter}, p_exit={p_exit}, loss_bad={loss_bad})"
+            );
+        }
     }
 
     #[test]

@@ -97,6 +97,7 @@ mod arena;
 pub mod audit;
 mod discipline;
 mod fault;
+pub mod mc;
 mod packet;
 mod partition;
 pub mod pcap;

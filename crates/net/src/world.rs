@@ -45,7 +45,7 @@
 use crate::arena::{ChannelArena, HostArena};
 use crate::audit::Audit;
 use crate::discipline::{Discipline, Victim};
-use crate::fault::{FaultError, FaultKind, FaultModel, FaultOutcome, FaultPlan};
+use crate::fault::{FaultError, FaultKind, FaultModel, FaultOutcome, FaultPlan, Outage};
 use crate::packet::{ConnId, NodeId, Packet, PacketId, PacketKind};
 use crate::route::RouteTable;
 use crate::snapcount;
@@ -518,8 +518,11 @@ impl Snapshot {
     pub const MAGIC: &'static [u8; 4] = b"TDSN";
     /// Current format version. Version 2 added the canonical-mode flag,
     /// per-endpoint packet-id counters, and per-event ordering keys
-    /// inside the queue section.
-    pub const VERSION: u32 = 2;
+    /// inside the queue section. Version 3 added the model-checking
+    /// fault overlay (injected outages + forced-drop counters) to each
+    /// channel row, so restoring a branch snapshot reconstructs the
+    /// branch's decisions without replaying them.
+    pub const VERSION: u32 = 3;
 
     /// The raw snapshot bytes (header included).
     pub fn as_bytes(&self) -> &[u8] {
@@ -738,6 +741,40 @@ impl World {
         }
         self.channels.set_fault(ch.0 as usize, plan);
         Ok(())
+    }
+
+    /// Dynamically inject a link outage `[down, up)` on top of whatever
+    /// static [`FaultPlan`] the channel carries. This is the model
+    /// checker's branch primitive: unlike `set_fault_plan` it may be
+    /// called mid-run (between events), the injected windows live in a
+    /// separate overlay that the snapshot codec captures per channel (so
+    /// restoring a branch snapshot reconstructs its decisions), and
+    /// overlapping injections are benign — the link is down under the
+    /// union of all windows. A `LinkUp` wake-up is scheduled at `up`.
+    ///
+    /// Semantic difference from static plans: packets whose arrival was
+    /// already scheduled before the injection are not retroactively cut;
+    /// only transmissions finishing after the call see the outage.
+    pub fn inject_outage(&mut self, ch: ChannelId, down: SimTime, up: SimTime) {
+        assert!(down < up, "inject_outage: empty window [{down:?}, {up:?})");
+        if up < SimTime::MAX {
+            self.schedule_event(up, Event::LinkUp(ch));
+        }
+        self.channels
+            .injected_outages_mut(ch.0 as usize)
+            .push(Outage { down, up });
+    }
+
+    /// Force the next `n` transmissions completing on `ch` to be dropped
+    /// (the model checker's per-packet drop choice). Deterministic and
+    /// RNG-free: a forced drop consumes no randomness, so the channel's
+    /// private stream stays aligned with the undropped sibling branch up
+    /// to the decision point. The counter is part of the snapshot's v3
+    /// channel row, so branch snapshots carry pending forced drops.
+    pub fn force_drops(&mut self, ch: ChannelId, n: u32) {
+        let ci = ch.0 as usize;
+        let cur = self.channels.forced_drops(ci);
+        self.channels.set_forced_drops(ci, cur + n);
     }
 
     /// Enable DECbit-style congestion marking on a channel: packets whose
@@ -1163,6 +1200,11 @@ impl World {
         &self.audit
     }
 
+    /// The seed this world was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Register a connection's cwnd upper bound (its sender's `maxwnd`)
     /// with the auditor, enabling the `cwnd ≤ maxwnd` check.
     pub fn set_window_bound(&mut self, conn: ConnId, maxwnd: f64) {
@@ -1227,6 +1269,15 @@ impl World {
     /// never from inside an endpoint callback.
     pub fn snapshot(&self) -> Snapshot {
         let mut w = SnapWriter::with_header(Snapshot::MAGIC, Snapshot::VERSION);
+        self.write_state(&mut w);
+        snapcount::on_snapshot();
+        Snapshot {
+            bytes: w.into_bytes(),
+        }
+    }
+
+    /// Stream the full snapshot encoding into `w`.
+    fn write_state(&self, w: &mut SnapWriter) {
         // Structural fingerprint, cross-checked by `restore`.
         w.write_u64(self.seed);
         w.write_u32(self.nodes.len() as u32);
@@ -1234,7 +1285,7 @@ impl World {
         w.write_u32(self.endpoints.len() as u32);
         // Engine state: pending events (with the clock inside), the shared
         // stream, and the packet-id counters.
-        self.queue.save_state(&mut w, save_event);
+        self.queue.save_state(w, save_event);
         w.write_rng(&self.rng);
         w.write_u64(self.next_packet_id);
         w.write_bool(self.canonical);
@@ -1246,32 +1297,124 @@ impl World {
         let records = self.trace.records();
         w.write_u64(records.len() as u64);
         for rec in records {
-            save_trace_record(rec, &mut w);
+            save_trace_record(rec, w);
         }
         // Auditor.
-        self.audit.save_state(&mut w);
+        self.audit.save_state(w);
         // Per-host receive-path state (switches carry none).
         for ni in 0..self.nodes.len() {
             if self.hosts.is_host(ni) {
-                self.save_host_row(ni, &mut w);
+                self.save_host_row(ni, w);
             }
         }
         // Per-channel mutable state. The discipline gets its own section
         // so a save/load asymmetry in one implementation fails at its own
         // boundary.
         for ci in 0..self.channels.len() {
-            self.save_channel_row(ci, &mut w);
+            self.save_channel_row(ci, w);
         }
         // Endpoints, one section each (empty for a detached slot, which
         // can only be observed if snapshot were called mid-dispatch — the
         // symmetric read keeps even that case consistent).
         for i in 0..self.endpoints.len() {
+            self.save_endpoint_row(i, w);
+        }
+    }
+
+    /// A 64-bit FNV-1a hash of the world's *canonical* state encoding,
+    /// streamed through a hashing [`SnapWriter`] so no snapshot buffer is
+    /// ever materialized. Two worlds with equal hashes (collisions aside)
+    /// evolve identically under identical future inputs; the model
+    /// checker uses this for visited-state deduplication.
+    ///
+    /// The canonical encoding differs from the snapshot encoding by
+    /// excluding state that is pure *observation* — it records what
+    /// happened but never feeds back into behavior, so keeping it would
+    /// only split states that are behaviorally one:
+    ///
+    /// * the trace (flag and records);
+    /// * event-queue bookkeeping (slab layout, sequence/pop/peak
+    ///   counters) — pending events are encoded in canonical pop order
+    ///   instead, which captures everything dispatch can see, including
+    ///   FIFO tie-breaking, and events referenced by live handles still
+    ///   pin their [`EventId`]s through the endpoint sections that hold
+    ///   those handles;
+    /// * per-channel throughput counters ([`ChannelStats`]);
+    /// * the audit's absolute injected/delivered/dropped totals — their
+    ///   *balance* (packets in the network) is behavioral and is hashed;
+    ///   the recorded-violation list is reporting, not state;
+    /// * injected model-checking outages that have fully expired (their
+    ///   window can no longer cover or cut anything).
+    ///
+    /// The hash still covers the codec header, so a snapshot version bump
+    /// automatically invalidates any persisted dedup set.
+    pub fn state_hash(&self) -> u64 {
+        let mut w = SnapWriter::hashing_with_header(Snapshot::MAGIC, Snapshot::VERSION);
+        w.write_u64(self.seed);
+        w.write_u32(self.nodes.len() as u32);
+        w.write_u32(self.channels.len() as u32);
+        w.write_u32(self.endpoints.len() as u32);
+        let now = self.now();
+        w.write_time(now);
+        let pending = self.queue.pending_entries();
+        w.write_u64(pending.len() as u64);
+        for (at, key, _id, ev) in pending {
+            w.write_time(at);
+            w.write_u64(key);
+            save_event(ev, &mut w);
+        }
+        w.write_rng(&self.rng);
+        w.write_u64(self.next_packet_id);
+        w.write_bool(self.canonical);
+        for &ctr in &self.ep_packet_ctr {
+            w.write_u64(ctr);
+        }
+        self.audit.write_canonical(&mut w);
+        for ni in 0..self.nodes.len() {
+            if self.hosts.is_host(ni) {
+                self.save_host_row(ni, &mut w);
+            }
+        }
+        for ci in 0..self.channels.len() {
+            // The behavioral subset of `save_channel_row`: in-service
+            // slot, burst phase, private RNG, discipline, and the live
+            // part of the mc overlay — no throughput counters.
+            match self.channels.in_service(ci) {
+                Some((pkt, started)) => {
+                    w.write_bool(true);
+                    pkt.save_state(&mut w);
+                    w.write_time(*started);
+                }
+                None => w.write_bool(false),
+            }
+            w.write_bool(
+                self.channels
+                    .fault(ci)
+                    .burst
+                    .as_ref()
+                    .is_some_and(|b| b.in_bad()),
+            );
+            w.write_rng(self.channels.rng(ci));
+            let mut dw = SnapWriter::new();
+            self.channels.discipline(ci).save_state(&mut dw);
+            w.write_section(dw);
+            let live: Vec<&Outage> = self
+                .channels
+                .injected_outages(ci)
+                .iter()
+                .filter(|o| o.up > now)
+                .collect();
+            w.write_u64(live.len() as u64);
+            for o in live {
+                w.write_time(o.down);
+                w.write_time(o.up);
+            }
+            w.write_u32(self.channels.forced_drops(ci));
+        }
+        for i in 0..self.endpoints.len() {
             self.save_endpoint_row(i, &mut w);
         }
-        snapcount::on_snapshot();
-        Snapshot {
-            bytes: w.into_bytes(),
-        }
+        w.finish_hash()
     }
 
     /// Apply a [`Snapshot`] onto this world, which must have been freshly
@@ -1413,6 +1556,15 @@ impl World {
         let mut dw = SnapWriter::new();
         self.channels.discipline(ci).save_state(&mut dw);
         w.write_section(dw);
+        // v3: model-checking fault overlay. Always empty outside mc runs,
+        // so ordinary snapshots cost two fixed-size fields per channel.
+        let inj = self.channels.injected_outages(ci);
+        w.write_u64(inj.len() as u64);
+        for o in inj {
+            w.write_time(o.down);
+            w.write_time(o.up);
+        }
+        w.write_u32(self.channels.forced_drops(ci));
     }
 
     /// Restore one channel's mutable state.
@@ -1449,6 +1601,16 @@ impl World {
         stats.drops = r.read_u64()?;
         stats.enqueued = r.read_u64()?;
         r.read_section(|r| self.channels.discipline_mut(ci).load_state(r))?;
+        let n_inj = r.read_u64()?;
+        let mut inj = Vec::with_capacity((n_inj as usize).min(r.remaining()));
+        for _ in 0..n_inj {
+            let down = r.read_time()?;
+            let up = r.read_time()?;
+            inj.push(Outage { down, up });
+        }
+        self.channels.set_injected_outages(ci, inj);
+        let forced = r.read_u32()?;
+        self.channels.set_forced_drops(ci, forced);
         Ok(())
     }
 
@@ -1841,9 +2003,10 @@ impl World {
     fn maybe_start_tx(&mut self, t: SimTime, ch_id: ChannelId) {
         let started = {
             let ch = self.channels.get_mut(ch_id.0 as usize);
-            // A downed link refuses new transmissions; the LinkUp event
-            // scheduled by `set_fault_plan` restarts it.
-            if ch.in_service.is_some() || ch.fault.is_down(t) {
+            // A downed link (static plan or injected overlay) refuses new
+            // transmissions; the LinkUp event scheduled by `set_fault_plan`
+            // / `inject_outage` restarts it.
+            if ch.in_service.is_some() || ch.link_down(t) {
                 None
             } else if let Some(pkt) = ch.discipline.dequeue() {
                 *ch.in_service = Some((pkt, t));
@@ -1866,9 +2029,26 @@ impl World {
             ch.stats.tx_packets += 1;
             ch.stats.tx_bytes += pkt.size as u64;
             let qlen_after = ch.occupancy();
-            // Fault decisions draw only from the channel's private stream,
-            // never from the world's shared RNG.
-            let outcome = ch.fault.decide(t, ch.delay, &mut *ch.rng);
+            // A pending forced drop (model-checker branch decision) wins
+            // outright and consumes no randomness — the channel's private
+            // stream stays aligned with the sibling branch that delivered.
+            let outcome = if *ch.forced_drops > 0 {
+                *ch.forced_drops -= 1;
+                FaultOutcome::Dropped(FaultKind::Dropped)
+            } else {
+                // Fault decisions draw only from the channel's private
+                // stream, never from the world's shared RNG.
+                let mut outcome = ch.fault.decide(t, ch.delay, &mut *ch.rng);
+                // An injected outage cuts surviving transmissions the same
+                // way a static outage window does.
+                if let FaultOutcome::Deliver { extra_delay, .. } = outcome {
+                    let arrival = t + ch.delay + extra_delay;
+                    if ch.injected_outages.iter().any(|o| o.cuts(t, arrival)) {
+                        outcome = FaultOutcome::Dropped(FaultKind::LinkDown);
+                    }
+                }
+                outcome
+            };
             (pkt, qlen_after, ch.delay, outcome)
         };
         self.record(
@@ -3179,17 +3359,171 @@ mod fault_tests {
             ..FaultPlan::NONE
         };
         assert!(w.set_fault_plan(c01, bad).is_err());
-        let overlapping = FaultPlan::with_outages(vec![
-            Outage {
-                down: SimTime::from_secs(1),
-                up: SimTime::from_secs(5),
-            },
-            Outage {
-                down: SimTime::from_secs(3),
-                up: SimTime::from_secs(7),
-            },
-        ]);
+        // Built as a struct literal: `with_outages` itself panics on
+        // malformed schedules, and here we want the fallible path.
+        let overlapping = FaultPlan {
+            outages: vec![
+                Outage {
+                    down: SimTime::from_secs(1),
+                    up: SimTime::from_secs(5),
+                },
+                Outage {
+                    down: SimTime::from_secs(3),
+                    up: SimTime::from_secs(7),
+                },
+            ],
+            ..FaultPlan::NONE
+        };
         assert!(w.set_fault_plan(c01, overlapping).is_err());
+    }
+}
+
+#[cfg(test)]
+mod mc_primitive_tests {
+    use super::tests::{direct_world, Acker, Blaster};
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    /// Five 500 B packets over a clean 50 Kbps / 10 ms link.
+    fn blaster_world() -> (World, EndpointId, ChannelId) {
+        let (mut w, h0, h1, c01, _) =
+            direct_world(Rate::from_kbps(50), SimDuration::from_millis(10), None);
+        let src = w.attach(
+            h0,
+            h1,
+            ConnId(0),
+            Box::new(Blaster {
+                n: 5,
+                acks_seen: 0,
+                data_size: 500,
+            }),
+        );
+        let snk = w.attach(h1, h0, ConnId(0), Box::new(Acker { data_seen: 0 }));
+        w.start_at(src, SimTime::ZERO);
+        (w, snk, c01)
+    }
+
+    fn data_seen(w: &World, snk: EndpointId) -> u64 {
+        w.endpoint(snk)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Acker>()
+            .unwrap()
+            .data_seen
+    }
+
+    #[test]
+    fn state_hash_is_trace_invariant_and_state_sensitive() {
+        let (mut a, _, _) = blaster_world();
+        let (mut b, _, _) = blaster_world();
+        b.trace_mut().set_enabled(false);
+        a.run_until(SimTime::from_millis(100));
+        b.run_until(SimTime::from_millis(100));
+        assert_ne!(
+            a.snapshot().as_bytes(),
+            b.snapshot().as_bytes(),
+            "the snapshots must differ (one carries a trace)"
+        );
+        assert_eq!(
+            a.state_hash(),
+            b.state_hash(),
+            "the hash must not see the trace"
+        );
+        let before = a.state_hash();
+        a.run_until(SimTime::from_millis(200));
+        assert_ne!(before, a.state_hash(), "advancing state must move the hash");
+    }
+
+    #[test]
+    fn injected_outage_matches_static_outage_semantics() {
+        // Same window as `outage_cuts_in_flight_refuses_new_and_recovers`,
+        // but injected dynamically before the run instead of installed as
+        // a static plan: packets 1 (cut in flight) and 2 (finishes into
+        // the downed link) die, packets 3-5 flow after LinkUp at 300 ms.
+        let (mut w, snk, c01) = blaster_world();
+        w.inject_outage(c01, SimTime::from_millis(85), SimTime::from_millis(300));
+        w.run_to_completion();
+        assert_eq!(data_seen(&w, snk), 3, "packets 3-5 survive the outage");
+        let link_down_drops: Vec<u64> = w
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.ev {
+                TraceEvent::Drop {
+                    reason: DropReason::LinkDown,
+                    pkt,
+                    ..
+                } => Some(pkt.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(link_down_drops, vec![1, 2]);
+        for r in w.trace().records() {
+            if let TraceEvent::TxStart { ch, .. } = r.ev {
+                if ch == c01 {
+                    assert!(
+                        r.t < SimTime::from_millis(160) || r.t >= SimTime::from_millis(300),
+                        "TxStart at {:?} during the injected outage",
+                        r.t
+                    );
+                }
+            }
+        }
+        assert_eq!(w.audit().total_violations(), 0);
+    }
+
+    #[test]
+    fn forced_drops_consume_exactly_n_and_no_randomness() {
+        let (mut clean, clean_snk, _) = blaster_world();
+        clean.run_to_completion();
+        let (mut w, snk, c01) = blaster_world();
+        w.force_drops(c01, 2);
+        w.run_to_completion();
+        assert_eq!(data_seen(&w, snk), 3, "exactly two packets forced down");
+        let fault_drops: Vec<u64> = w
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.ev {
+                TraceEvent::Drop {
+                    reason: DropReason::Fault,
+                    pkt,
+                    ..
+                } => Some(pkt.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fault_drops, vec![1, 2], "the *next* two transmissions die");
+        // RNG-free: both worlds end with identical shared and channel
+        // streams (the forced path never draws).
+        assert_eq!(data_seen(&clean, clean_snk), 5);
+        assert_eq!(clean.rng, w.rng);
+        assert_eq!(
+            clean.channels.rng(c01.0 as usize),
+            w.channels.rng(c01.0 as usize)
+        );
+        assert_eq!(w.audit().total_violations(), 0);
+    }
+
+    #[test]
+    fn snapshot_v3_roundtrips_the_mc_overlay() {
+        let (mut w, _, c01) = blaster_world();
+        w.inject_outage(c01, SimTime::from_millis(85), SimTime::from_millis(300));
+        w.force_drops(c01, 1);
+        w.run_until(SimTime::from_millis(50));
+        let snap = w.snapshot();
+        let (mut twin, twin_snk, _) = blaster_world();
+        twin.restore(&snap).unwrap();
+        assert_eq!(twin.snapshot().as_bytes(), snap.as_bytes());
+        assert_eq!(twin.state_hash(), w.state_hash());
+        // The restored overlay keeps acting: continue both runs and the
+        // futures agree byte for byte.
+        w.run_to_completion();
+        twin.run_to_completion();
+        assert_eq!(w.trace().records(), twin.trace().records());
+        // Forced drop (packet 1 at 80 ms) plus outage cuts leave only the
+        // post-recovery packets.
+        assert_eq!(data_seen(&twin, twin_snk), 3);
     }
 }
 
