@@ -109,6 +109,7 @@ struct Args {
     out: Option<PathBuf>,
     timings: Option<PathBuf>,
     resume: Option<PathBuf>,
+    salvage: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -121,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut timings = None;
     let mut resume = None;
+    let mut salvage = false;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -171,6 +173,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--resume needs a directory")?;
                 resume = Some(PathBuf::from(v));
             }
+            "--salvage" => salvage = true,
             "--only" => {
                 let v = argv.next().ok_or("--only needs an experiment id")?;
                 ids.push(v);
@@ -190,6 +193,9 @@ fn parse_args() -> Result<Args, String> {
                     don't pass ids with it"
             .into());
     }
+    if salvage && resume.is_none() {
+        return Err("--salvage only makes sense with --resume".into());
+    }
     Ok(Args {
         ids,
         seed,
@@ -200,6 +206,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         timings,
         resume,
+        salvage,
     })
 }
 
@@ -207,7 +214,7 @@ fn usage() {
     println!("td-repro — reproduce Zhang/Shenker/Clark (SIGCOMM '91)");
     println!();
     println!("usage: td-repro <id|all|list> [--full] [--seed N] [--jobs N] [--out DIR]");
-    println!("       td-repro --resume DIR [--jobs N]");
+    println!("       td-repro --resume DIR [--salvage] [--jobs N]");
     println!("       td-repro --list     (full registry, hidden entries flagged)");
     println!("       td-repro mc [--seed N] [--full] [--grid N] [--seed-violation]");
     println!("                   [--artifacts DIR] | --replay FILE.tdmc");
@@ -236,6 +243,9 @@ fn usage() {
     println!("  --timings FILE   write the timings/observability report to FILE");
     println!("  --resume DIR     continue an interrupted sweep from DIR's journal:");
     println!("                   completed cells replay, only missing cells run");
+    println!("  --salvage        with --resume: if the journal has mid-file damage,");
+    println!("                   truncate at the first bad line, keep the intact");
+    println!("                   prefix, and rerun the dropped cells");
 }
 
 /// Print the full registry — public entries first, then the hidden
@@ -478,11 +488,35 @@ fn main() -> ExitCode {
     // --timings still apply), so the two runs cannot diverge.
     let (entries, cfg, out, completed): (Vec<Entry>, RunnerConfig, Option<PathBuf>, Vec<_>) =
         if let Some(dir) = &args.resume {
-            let (header, cells) = match Journal::load(dir) {
-                Ok(x) => x,
-                Err(e) => {
-                    eprintln!("error: cannot resume from {}: {e}", dir.display());
-                    return ExitCode::from(2);
+            let (header, cells) = if args.salvage {
+                match Journal::load_salvage(dir) {
+                    Ok((header, cells, report)) => {
+                        match report.truncated_at_byte {
+                            Some(offset) => eprintln!(
+                                "salvage: kept {} intact cell(s), dropped {} damaged \
+                                 line(s), truncated journal at byte {offset}",
+                                report.kept_cells, report.dropped_lines
+                            ),
+                            None => eprintln!(
+                                "salvage: journal is fully intact ({} cell(s)), \
+                                 nothing to drop",
+                                report.kept_cells
+                            ),
+                        }
+                        (header, cells)
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot salvage {}: {e}", dir.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                match Journal::load(dir) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        eprintln!("error: cannot resume from {}: {e}", dir.display());
+                        return ExitCode::from(2);
+                    }
                 }
             };
             let mut picked = Vec::new();

@@ -117,6 +117,51 @@ pub struct JournalCell {
     pub audit: Tally,
 }
 
+/// Why a checked journal line failed to decode.
+///
+/// Produced by [`decode_checked_line`]; [`Journal::load`] folds the
+/// variant into its error message so an operator sees *what* is wrong
+/// with the damaged line, not just that something is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LineDamage {
+    /// Structural damage: the line is not
+    /// `hex(payload) + space + 16-hex checksum`.
+    Format(String),
+    /// The line parsed but the recorded checksum disagrees with the
+    /// checksum computed over the decoded payload.
+    Checksum {
+        /// Checksum recorded at the end of the line.
+        recorded: u64,
+        /// Checksum computed from the line's payload bytes.
+        computed: u64,
+    },
+}
+
+impl std::fmt::Display for LineDamage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineDamage::Format(why) => write!(f, "malformed line ({why})"),
+            LineDamage::Checksum { recorded, computed } => write!(
+                f,
+                "checksum mismatch (expected {computed:016x} from the payload, \
+                 found {recorded:016x} on the line)"
+            ),
+        }
+    }
+}
+
+/// What [`Journal::load_salvage`] did to a damaged journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Intact cells kept (excludes the header line).
+    pub kept_cells: usize,
+    /// Lines dropped at and after the first damaged line.
+    pub dropped_lines: usize,
+    /// Byte offset the journal file was truncated to, if damage was
+    /// found (`None` means the journal was fully intact).
+    pub truncated_at_byte: Option<u64>,
+}
+
 /// An append-only, fsynced results journal.
 pub struct Journal {
     file: std::fs::File,
@@ -161,12 +206,7 @@ impl Journal {
     }
 
     fn write_line(&mut self, payload: &[u8]) -> io::Result<()> {
-        let mut line = String::with_capacity(payload.len() * 2 + 18);
-        for b in payload {
-            line.push_str(&format!("{b:02x}"));
-        }
-        line.push(' ');
-        line.push_str(&format!("{:016x}", fnv1a(payload)));
+        let mut line = encode_checked_line(payload);
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
         self.file.sync_data()
@@ -176,7 +216,9 @@ impl Journal {
     ///
     /// A damaged or truncated trailing line is tolerated (the crash tore
     /// it; its cell reruns); a damaged line *followed by intact lines*
-    /// is corruption, not truncation, and is an error.
+    /// is corruption, not truncation, and is an error naming the line
+    /// number, byte offset, and (for checksum damage) the expected vs
+    /// found checksum, with a pointer at `--salvage`.
     pub fn load(dir: &Path) -> io::Result<(JournalHeader, Vec<JournalCell>)> {
         let path = Self::file_path(dir);
         let mut text = String::new();
@@ -184,59 +226,184 @@ impl Journal {
         let corrupt =
             |msg: String| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {msg}"));
 
-        let mut payloads: Vec<Vec<u8>> = Vec::new();
-        let mut damaged_at: Option<usize> = None;
+        // (payload, 0-based line number, byte offset of line start)
+        let mut payloads: Vec<(Vec<u8>, usize, u64)> = Vec::new();
+        let mut damaged: Option<(usize, u64, LineDamage)> = None;
+        let mut offset = 0u64;
         for (lineno, line) in text.lines().enumerate() {
-            match decode_line(line) {
-                Some(payload) => {
-                    if let Some(bad) = damaged_at {
+            match decode_checked_line(line) {
+                Ok(payload) => {
+                    if let Some((bad_line, bad_offset, why)) = &damaged {
                         return Err(corrupt(format!(
-                            "line {} is damaged but later lines are intact (corruption, \
-                             not crash truncation)",
-                            bad + 1
+                            "corruption at line {}, byte offset {bad_offset}: {why}; \
+                             later lines are intact, so this is mid-file damage, not \
+                             crash truncation — rerun with `--resume --salvage` to \
+                             truncate there and recompute the dropped cells",
+                            bad_line + 1
                         )));
                     }
-                    payloads.push(payload);
+                    payloads.push((payload, lineno, offset));
                 }
-                None => damaged_at = Some(lineno),
+                Err(why) => {
+                    if damaged.is_none() {
+                        damaged = Some((lineno, offset, why));
+                    }
+                }
             }
+            offset += line.len() as u64 + 1;
         }
         // `text.lines()` drops a torn final fragment without a newline —
-        // and a torn line *with* its newline decodes to None above.
+        // and a torn line *with* its newline fails the decode above.
         // Either way only the tail may be missing.
 
         let mut it = payloads.into_iter();
-        let header_bytes = it
+        let (header_bytes, _, _) = it
             .next()
             .ok_or_else(|| corrupt("journal has no intact header line".into()))?;
         let header =
             decode_header(&header_bytes).map_err(|e| corrupt(format!("bad header: {e}")))?;
         let mut cells = Vec::new();
-        for (i, bytes) in it.enumerate() {
-            let cell = decode_cell(&bytes)
-                .map_err(|e| corrupt(format!("bad cell line {}: {e}", i + 2)))?;
+        for (bytes, lineno, line_offset) in it {
+            let cell = decode_cell(&bytes).map_err(|e| {
+                corrupt(format!(
+                    "corruption at line {}, byte offset {line_offset}: checksummed \
+                     cell record fails to decode ({e}) — rerun with `--resume \
+                     --salvage` to truncate there and recompute the dropped cells",
+                    lineno + 1
+                ))
+            })?;
             cells.push(cell);
         }
         Ok((header, cells))
     }
+
+    /// Load a damaged journal, keeping everything before the first bad
+    /// line and **truncating the file** there so subsequent appends
+    /// continue from a clean tail.
+    ///
+    /// Returns the header, the intact cells, and a [`SalvageReport`]
+    /// saying how much was kept vs dropped. A damaged or undecodable
+    /// *header* line is unsalvageable (there is nothing to resume) and
+    /// stays an error.
+    pub fn load_salvage(
+        dir: &Path,
+    ) -> io::Result<(JournalHeader, Vec<JournalCell>, SalvageReport)> {
+        let path = Self::file_path(dir);
+        let mut text = String::new();
+        std::fs::File::open(&path)?.read_to_string(&mut text)?;
+        let corrupt =
+            |msg: String| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {msg}"));
+
+        let total_lines = text.lines().count();
+        let mut lines = text.lines().enumerate();
+        let (_, header_line) = lines
+            .next()
+            .ok_or_else(|| corrupt("unsalvageable: journal is empty".into()))?;
+        let header_bytes = decode_checked_line(header_line)
+            .map_err(|why| corrupt(format!("unsalvageable: header line is damaged: {why}")))?;
+        let header = decode_header(&header_bytes)
+            .map_err(|e| corrupt(format!("unsalvageable: bad header: {e}")))?;
+
+        let mut cells = Vec::new();
+        let mut offset = header_line.len() as u64 + 1;
+        let mut damage: Option<(usize, u64)> = None; // (lineno, byte offset)
+        for (lineno, line) in lines {
+            let ok = decode_checked_line(line)
+                .ok()
+                .and_then(|bytes| decode_cell(&bytes).ok());
+            match ok {
+                Some(cell) => cells.push(cell),
+                None => {
+                    damage = Some((lineno, offset));
+                    break;
+                }
+            }
+            offset += line.len() as u64 + 1;
+        }
+
+        let report = match damage {
+            None => SalvageReport {
+                kept_cells: cells.len(),
+                dropped_lines: 0,
+                truncated_at_byte: None,
+            },
+            Some((lineno, offset)) => {
+                let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+                f.set_len(offset)?;
+                f.sync_all()?;
+                SalvageReport {
+                    kept_cells: cells.len(),
+                    dropped_lines: total_lines - lineno,
+                    truncated_at_byte: Some(offset),
+                }
+            }
+        };
+        Ok((header, cells, report))
+    }
 }
 
-/// Parse one `hex payload + checksum` line; `None` if torn or damaged.
-fn decode_line(line: &str) -> Option<Vec<u8>> {
-    let (hex, check) = line.split_once(' ')?;
-    if check.len() != 16 || hex.len() % 2 != 0 {
-        return None;
+/// Render a payload as one checked journal line (no trailing newline):
+/// `hex(payload) + space + 16-hex fnv1a64 checksum`. The inverse of
+/// [`decode_checked_line`]; shared by the journal and the serve store's
+/// pending-queue file.
+pub fn encode_checked_line(payload: &[u8]) -> String {
+    let mut line = String::with_capacity(payload.len() * 2 + 17);
+    for b in payload {
+        line.push_str(&format!("{b:02x}"));
+    }
+    line.push(' ');
+    line.push_str(&format!("{:016x}", fnv1a(payload)));
+    line
+}
+
+/// Parse one checked `hex payload + checksum` line, saying *why* on
+/// failure (see [`LineDamage`]).
+pub fn decode_checked_line(line: &str) -> Result<Vec<u8>, LineDamage> {
+    let (hex, check) = line
+        .split_once(' ')
+        .ok_or_else(|| LineDamage::Format("no space separator".into()))?;
+    if check.len() != 16 {
+        return Err(LineDamage::Format(format!(
+            "checksum field is {} chars, expected 16",
+            check.len()
+        )));
+    }
+    if hex.len() % 2 != 0 {
+        return Err(LineDamage::Format(format!(
+            "payload field has odd length {}",
+            hex.len()
+        )));
+    }
+    // Reject anything but hex digits up front: `from_str_radix` would
+    // otherwise accept a leading `+`, letting some damaged bytes parse
+    // to the same value they replaced.
+    if let Some(bad) = line
+        .bytes()
+        .position(|b| !b.is_ascii_hexdigit() && b != b' ')
+    {
+        return Err(LineDamage::Format(format!(
+            "non-hex character at column {}",
+            bad + 1
+        )));
     }
     let mut payload = Vec::with_capacity(hex.len() / 2);
     for i in (0..hex.len()).step_by(2) {
-        payload.push(u8::from_str_radix(&hex[i..i + 2], 16).ok()?);
+        payload.push(u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| {
+            LineDamage::Format(format!("non-hex payload byte at column {}", i + 1))
+        })?);
     }
-    let want = u64::from_str_radix(check, 16).ok()?;
-    (fnv1a(&payload) == want).then_some(payload)
+    let recorded = u64::from_str_radix(check, 16)
+        .map_err(|_| LineDamage::Format("non-hex checksum field".into()))?;
+    let computed = fnv1a(&payload);
+    if computed != recorded {
+        return Err(LineDamage::Checksum { recorded, computed });
+    }
+    Ok(payload)
 }
 
-/// FNV-1a over a byte string (the per-line checksum).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte string: the per-line checksum of the journal and
+/// the trailer checksum of the serve store's cell files.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -272,7 +439,10 @@ fn decode_header(bytes: &[u8]) -> Result<JournalHeader, SnapError> {
     };
     let replicates = r.read_u64()?;
     let n = r.read_u64()?;
-    let mut ids = Vec::with_capacity(n as usize);
+    // Clamp the pre-allocation to what the remaining bytes could
+    // possibly encode: a damaged count must fail with `Truncated`, not
+    // abort the process with a capacity overflow.
+    let mut ids = Vec::with_capacity((n as usize).min(r.remaining()));
     for _ in 0..n {
         ids.push(r.read_str()?);
     }
@@ -285,7 +455,9 @@ fn decode_header(bytes: &[u8]) -> Result<JournalHeader, SnapError> {
     })
 }
 
-fn encode_cell(res: &ExperimentResult) -> Vec<u8> {
+/// Serialize one completed cell as a journal record payload (exposed
+/// for the codec fuzz harness; the journal writes these via `append`).
+pub fn encode_cell(res: &ExperimentResult) -> Vec<u8> {
     let mut w = SnapWriter::with_header(MAGIC, VERSION);
     w.write_u8(TAG_CELL);
     w.write_str(res.id);
@@ -310,7 +482,9 @@ fn encode_cell(res: &ExperimentResult) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_cell(bytes: &[u8]) -> Result<JournalCell, SnapError> {
+/// Decode one cell record payload. Structured errors, never panics —
+/// the journal loader and the codec fuzz harness both rely on that.
+pub fn decode_cell(bytes: &[u8]) -> Result<JournalCell, SnapError> {
     let mut r = SnapReader::new(bytes);
     let version = expect_journal_record(&mut r, TAG_CELL)?;
     let id = r.read_str()?;
@@ -331,7 +505,9 @@ fn decode_cell(bytes: &[u8]) -> Result<JournalCell, SnapError> {
     };
     let total = r.read_u64()?;
     let n_reports = r.read_u64()?;
-    let mut reports = Vec::with_capacity(n_reports as usize);
+    // Clamped for the same reason as the header ids: a flipped count
+    // must not become a capacity-overflow abort.
+    let mut reports = Vec::with_capacity((n_reports as usize).min(r.remaining()));
     for _ in 0..n_reports {
         reports.push(r.read_str()?);
     }
@@ -362,7 +538,9 @@ fn expect_journal_record(r: &mut SnapReader<'_>, want_tag: u8) -> Result<u32, Sn
     Ok(version)
 }
 
-fn write_report(w: &mut SnapWriter, rep: &Report) {
+/// Serialize a full [`Report`] into a snap stream. Shared with the
+/// serve store, whose cell files embed the same report encoding.
+pub fn write_report(w: &mut SnapWriter, rep: &Report) {
     w.write_str(&rep.id);
     w.write_str(&rep.title);
     w.write_str(&rep.config);
@@ -402,7 +580,8 @@ fn write_report(w: &mut SnapWriter, rep: &Report) {
     }
 }
 
-fn read_report(r: &mut SnapReader<'_>) -> Result<Report, SnapError> {
+/// Deserialize a [`Report`] written by [`write_report`].
+pub fn read_report(r: &mut SnapReader<'_>) -> Result<Report, SnapError> {
     let id = r.read_str()?;
     let title = r.read_str()?;
     let config = r.read_str()?;
@@ -658,18 +837,119 @@ mod tests {
     #[test]
     fn checksum_rejects_bit_flips() {
         let payload = encode_header(&sample_header());
-        let mut line = String::new();
-        for b in &payload {
-            line.push_str(&format!("{b:02x}"));
-        }
-        line.push(' ');
-        line.push_str(&format!("{:016x}", fnv1a(&payload)));
-        assert!(decode_line(&line).is_some());
+        let line = encode_checked_line(&payload);
+        assert_eq!(decode_checked_line(&line).unwrap(), payload);
         let flipped = line.replacen('a', "b", 1);
         if flipped != line {
-            assert!(decode_line(&flipped).is_none());
+            let err = decode_checked_line(&flipped).unwrap_err();
+            assert!(
+                matches!(err, LineDamage::Checksum { .. } | LineDamage::Format(_)),
+                "{err:?}"
+            );
         }
-        assert!(decode_line("nonsense").is_none());
-        assert!(decode_line("").is_none());
+        assert!(matches!(
+            decode_checked_line("nonsense"),
+            Err(LineDamage::Format(_))
+        ));
+        assert!(matches!(
+            decode_checked_line(""),
+            Err(LineDamage::Format(_))
+        ));
+    }
+
+    #[test]
+    fn load_error_names_line_offset_and_checksums() {
+        let dir = tmp_dir("richerr");
+        let mut j = Journal::create(&dir, &sample_header()).unwrap();
+        j.append(&sample_result(0)).unwrap();
+        j.append(&sample_result(1)).unwrap();
+        drop(j);
+        let path = Journal::file_path(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let header_len = lines[0].len() as u64 + 1;
+        // Flip one payload nibble of the first cell line; its recorded
+        // checksum no longer matches.
+        let flip = |c: char| if c == '0' { '1' } else { '0' };
+        let first = lines[1].chars().next().unwrap();
+        lines[1] = format!("{}{}", flip(first), &lines[1][1..]);
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let err = Journal::load(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("corruption"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains(&format!("byte offset {header_len}")), "{msg}");
+        assert!(msg.contains("expected") && msg.contains("found"), "{msg}");
+        assert!(msg.contains("--salvage"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salvage_truncates_at_first_damage_and_keeps_prefix() {
+        let dir = tmp_dir("salvage");
+        let mut j = Journal::create(&dir, &sample_header()).unwrap();
+        for rep in 0..4 {
+            j.append(&sample_result(rep)).unwrap();
+        }
+        drop(j);
+        let path = Journal::file_path(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Damage cell 2 of 4 (line index 3): cells 0–1 survive, 2–3 drop.
+        let damage_offset: u64 = lines[..3].iter().map(|l| l.len() as u64 + 1).sum();
+        let mut edited: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+        edited[3] = format!("zz{}", &edited[3][2..]);
+        std::fs::write(&path, edited.join("\n") + "\n").unwrap();
+
+        assert!(Journal::load(&dir).is_err(), "strict load still refuses");
+        let (header, cells, report) = Journal::load_salvage(&dir).unwrap();
+        assert_eq!(header, sample_header());
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].replicate, 0);
+        assert_eq!(cells[1].replicate, 1);
+        assert_eq!(
+            report,
+            SalvageReport {
+                kept_cells: 2,
+                dropped_lines: 2,
+                truncated_at_byte: Some(damage_offset),
+            }
+        );
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            damage_offset,
+            "file physically truncated at the damage point"
+        );
+
+        // The truncated journal is clean: strict load succeeds, appends
+        // continue from the clean tail, and a re-salvage drops nothing.
+        let (_, cells) = Journal::load(&dir).unwrap();
+        assert_eq!(cells.len(), 2);
+        let mut j = Journal::open_append(&dir).unwrap();
+        j.append(&sample_result(2)).unwrap();
+        drop(j);
+        let (_, cells, report) = Journal::load_salvage(&dir).unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(report.dropped_lines, 0);
+        assert_eq!(report.truncated_at_byte, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salvage_refuses_a_damaged_header() {
+        let dir = tmp_dir("salvage-hdr");
+        let mut j = Journal::create(&dir, &sample_header()).unwrap();
+        j.append(&sample_result(0)).unwrap();
+        drop(j);
+        let path = Journal::file_path(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        lines[0] = format!("zz{}", &lines[0][2..]);
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let err = Journal::load_salvage(&dir).unwrap_err();
+        assert!(err.to_string().contains("unsalvageable"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -63,3 +63,40 @@ pub fn set_shards(n: u32) {
 pub fn shards() -> u32 {
     SHARDS.load(Ordering::SeqCst)
 }
+
+thread_local! {
+    /// Per-thread simulated-duration override (see [`override_sim_secs`]).
+    /// Thread-local — unlike [`shards`] — because `td-serve` workers run
+    /// concurrent requests with different overrides in one process; a
+    /// process-global would race.
+    static SIM_SECS_OVERRIDE: std::cell::Cell<Option<u64>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Restores the previous sim-secs override when dropped, so a worker
+/// that unwinds mid-request cannot leak its override into the next one.
+#[derive(Debug)]
+pub struct SimSecsOverrideGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for SimSecsOverrideGuard {
+    fn drop(&mut self) {
+        SIM_SECS_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Override, for the current thread, the simulated duration every
+/// registry entry that uses the standard profile→seconds mapping will
+/// run for. This is `td-serve`'s `sim_secs` config override: the
+/// daemon's worker arms it for the span of one request. Entries with
+/// bespoke duration logic (e.g. the sharded `scale` rungs) ignore it.
+pub fn override_sim_secs(secs: u64) -> SimSecsOverrideGuard {
+    let prev = SIM_SECS_OVERRIDE.with(|c| c.replace(Some(secs)));
+    SimSecsOverrideGuard { prev }
+}
+
+/// The current thread's sim-secs override, if armed.
+pub fn sim_secs_override() -> Option<u64> {
+    SIM_SECS_OVERRIDE.with(std::cell::Cell::get)
+}

@@ -36,10 +36,64 @@ impl Entry {
 }
 
 fn secs(profile: Profile, quick: u64, full: u64) -> u64 {
+    if let Some(s) = crate::sim_secs_override() {
+        return s;
+    }
     match profile {
         Profile::Quick => quick,
         Profile::Full => full,
     }
+}
+
+/// Config-override keys `td-serve` accepts, with validation. Every key
+/// here must be deterministic (same overrides + seed → byte-identical
+/// report) and safe to apply per-thread; process-global settings like
+/// `--shards` are deliberately excluded because concurrent requests
+/// would race on them.
+pub const OVERRIDE_KEYS: &[&str] = &["sim_secs"];
+
+/// Validate one config override. `Ok` means [`config_hash`] may include
+/// it and a worker may apply it.
+pub fn validate_override(key: &str, value: u64) -> Result<(), String> {
+    match key {
+        "sim_secs" => {
+            if (1..=100_000).contains(&value) {
+                Ok(())
+            } else {
+                Err(format!("sim_secs must be in 1..=100000, got {value}"))
+            }
+        }
+        other => Err(format!(
+            "unknown override key {other:?} (known: {})",
+            OVERRIDE_KEYS.join(", ")
+        )),
+    }
+}
+
+/// Canonical hash of a request's configuration: experiment id, profile,
+/// and the sorted override list. `td-serve` content-addresses its store
+/// by `(config_hash, seed)`, so two requests that would run the same
+/// simulation — regardless of override order on the wire — must hash
+/// identically, and any semantic change to what a config means must
+/// bump the version tag baked into the preimage.
+pub fn config_hash(id: &str, profile: Profile, overrides: &[(String, u64)]) -> u64 {
+    let mut bytes = Vec::with_capacity(64);
+    bytes.extend_from_slice(b"td-serve-config-v1\0");
+    bytes.extend_from_slice(id.as_bytes());
+    bytes.push(0);
+    bytes.push(match profile {
+        Profile::Quick => 0,
+        Profile::Full => 1,
+    });
+    let mut sorted: Vec<&(String, u64)> = overrides.iter().collect();
+    sorted.sort();
+    for (k, v) in sorted {
+        bytes.push(0);
+        bytes.extend_from_slice(k.as_bytes());
+        bytes.push(b'=');
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    crate::journal::fnv1a(&bytes)
 }
 
 /// All experiments, in presentation order.
@@ -182,7 +236,39 @@ pub fn hidden() -> Vec<Entry> {
             about: "Bounded model checking: fault placements across one fig45 congestion epoch",
             runner: crate::mc::report,
         },
+        Entry {
+            id: "faulty",
+            about: "Serve-harness drill: panics the first TD_FAULTY_PANICS calls, then succeeds",
+            runner: faulty_runner,
+        },
     ]
+}
+
+/// A deliberately unreliable runner for exercising `td-serve`'s retry,
+/// backoff, and circuit-breaker paths end to end: each call panics
+/// until the process-wide call counter reaches `TD_FAULTY_PANICS`
+/// (default 0 — never panics). The success report is a pure function of
+/// `(seed, profile)` — it must not mention the call count, so a cached
+/// response and a post-retry recompute stay byte-identical.
+fn faulty_runner(seed: u64, profile: Profile) -> Report {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+    let limit: u64 = std::env::var("TD_FAULTY_PANICS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let call = CALLS.fetch_add(1, Ordering::SeqCst);
+    if call < limit {
+        panic!("faulty: induced failure {} of {limit}", call + 1);
+    }
+    let mut rep = Report::new(
+        "faulty",
+        "Deliberate-failure drill",
+        &format!("seed={seed} profile={profile:?}"),
+    );
+    rep.check("survived", "true", "true".into(), true);
+    rep.metric("seed", seed as f64);
+    rep
 }
 
 /// Look up one experiment by id, including hidden entries.
@@ -223,5 +309,62 @@ mod tests {
         let rep = find("fig8").unwrap().run(1, Profile::Quick);
         assert_eq!(rep.id, "fig8");
         assert!(!rep.rows.is_empty());
+    }
+
+    #[test]
+    fn config_hash_is_order_insensitive_and_version_tagged() {
+        let a = config_hash("fig8", Profile::Quick, &[]);
+        let b = config_hash("fig8", Profile::Full, &[]);
+        let c = config_hash("fig9", Profile::Quick, &[]);
+        assert_ne!(a, b, "profile is part of the config");
+        assert_ne!(a, c, "id is part of the config");
+
+        let ov1 = vec![("sim_secs".to_owned(), 60)];
+        let d = config_hash("fig8", Profile::Quick, &ov1);
+        assert_ne!(a, d, "overrides are part of the config");
+        // Same overrides in a different on-the-wire order hash the same.
+        let two_a = vec![("a".to_owned(), 1), ("b".to_owned(), 2)];
+        let two_b = vec![("b".to_owned(), 2), ("a".to_owned(), 1)];
+        assert_eq!(
+            config_hash("fig8", Profile::Quick, &two_a),
+            config_hash("fig8", Profile::Quick, &two_b),
+        );
+    }
+
+    #[test]
+    fn override_validation_gates_the_config_surface() {
+        assert!(validate_override("sim_secs", 1).is_ok());
+        assert!(validate_override("sim_secs", 100_000).is_ok());
+        assert!(validate_override("sim_secs", 0).is_err());
+        assert!(validate_override("sim_secs", 100_001).is_err());
+        let err = validate_override("shards", 4).unwrap_err();
+        assert!(err.contains("unknown override key"), "{err}");
+        for key in OVERRIDE_KEYS {
+            assert!(validate_override(key, 10).is_ok());
+        }
+    }
+
+    #[test]
+    fn sim_secs_override_caps_the_standard_mapping() {
+        assert_eq!(secs(Profile::Quick, 600, 2000), 600);
+        assert_eq!(secs(Profile::Full, 600, 2000), 2000);
+        {
+            let _g = crate::override_sim_secs(42);
+            assert_eq!(secs(Profile::Quick, 600, 2000), 42);
+            assert_eq!(secs(Profile::Full, 600, 2000), 42);
+        }
+        assert_eq!(secs(Profile::Quick, 600, 2000), 600, "guard restores");
+    }
+
+    #[test]
+    fn faulty_entry_is_hidden_and_benign_by_default() {
+        // TD_FAULTY_PANICS unset: the drill never panics and its report
+        // depends only on (seed, profile).
+        let e = find("faulty").expect("hidden entry resolves");
+        let a = e.run(7, Profile::Quick);
+        let b = e.run(7, Profile::Quick);
+        assert_eq!(a.config, b.config);
+        assert!(a.all_ok());
+        assert!(registry().iter().all(|e| e.id != "faulty"));
     }
 }

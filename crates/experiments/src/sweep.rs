@@ -201,6 +201,13 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    // Propagate the caller's wall-clock deadline (if a serving layer
+    // armed one) into the helpers, so an over-budget sweep aborts on
+    // every thread promptly instead of only when the caller's own items
+    // poll. Note `std::thread::scope` re-raises a helper panic with a
+    // generic payload, so deadline classification upstream must rely on
+    // `deadline::expired()`, not on the payload alone.
+    let deadline = td_net::deadline::get();
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
     // Telemetry and audit-tally deltas of helper-run items, merged into
@@ -212,19 +219,22 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..lease.slots {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    return;
+            scope.spawn(|| {
+                let _deadline_guard = deadline.map(td_net::deadline::arm_until);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    telemetry::reset();
+                    td_net::audit::reset_thread();
+                    td_net::snapcount::reset_thread();
+                    let r = f(i, &items[i]);
+                    let _ = telem[i].set(telemetry::snapshot());
+                    let _ = audits[i].set(td_net::audit::take_thread());
+                    let _ = snaps[i].set(td_net::snapcount::take_thread());
+                    let _ = slots[i].set(r);
                 }
-                telemetry::reset();
-                td_net::audit::reset_thread();
-                td_net::snapcount::reset_thread();
-                let r = f(i, &items[i]);
-                let _ = telem[i].set(telemetry::snapshot());
-                let _ = audits[i].set(td_net::audit::take_thread());
-                let _ = snaps[i].set(td_net::snapcount::take_thread());
-                let _ = slots[i].set(r);
             });
         }
         // The caller drains the same queue; its items accumulate into its

@@ -95,6 +95,7 @@
 
 mod arena;
 pub mod audit;
+pub mod deadline;
 mod discipline;
 mod fault;
 pub mod mc;

@@ -1901,6 +1901,9 @@ impl World {
     // -- internals ----------------------------------------------------------
 
     fn dispatch(&mut self, t: SimTime, ev: Event) {
+        // Wall-clock budget poll for request-serving workers; a no-op
+        // unless the current thread armed a deadline (see `deadline`).
+        crate::deadline::tick(t, self.queue.dispatched());
         match ev {
             Event::TxComplete(ch) => self.tx_complete(t, ch),
             Event::Arrival { ch, pkt } => self.arrival(t, ch, pkt),

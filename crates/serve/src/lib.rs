@@ -1,0 +1,54 @@
+//! # td-serve — a fault-tolerant simulation-serving daemon
+//!
+//! The ROADMAP's census item calls for a long-running service that
+//! answers "simulate this config" queries from a journal-backed store.
+//! This crate is that service: a daemon on a Unix socket speaking
+//! line-delimited JSON, content-addressing every result cell by
+//! `(config_hash, seed)` into an on-disk [`store::Store`], serving
+//! cache hits from disk and scheduling misses onto a bounded worker
+//! pool that shares `td_experiments::sweep`'s process-wide job budget.
+//!
+//! A server that merely computes is not a product; one that degrades
+//! gracefully is. The robustness layer — all of it deterministic and
+//! exercised end to end by the integration tests and the CI `serve`
+//! job — is:
+//!
+//! * **Admission control** ([`server`]): a bounded priority queue;
+//!   when full, a request either sheds a strictly-lower-priority queued
+//!   request (whose client gets `overloaded`/`shed`) or is itself
+//!   rejected `overloaded`/`queue_full`. A draining daemon rejects
+//!   everything with `overloaded`/`draining`.
+//! * **Deadlines**: `deadline_ms` is armed as a thread-local wall-clock
+//!   budget via [`td_net::deadline`], which the engine's dispatch loop
+//!   polls; an over-budget cell unwinds and the client gets a
+//!   structured `deadline_exceeded` carrying the partial diagnostics
+//!   (simulated time reached, events dispatched).
+//! * **Crash isolation**: every cell runs under `catch_unwind`; a
+//!   panicking experiment is retried with deterministic exponential
+//!   backoff (jitter seeded from `(config_hash, seed, attempt)`), and a
+//!   config that keeps failing trips a circuit breaker that rejects
+//!   further requests for it without burning workers.
+//! * **Store integrity** ([`store`]): cell files carry a checksum
+//!   trailer verified on every read; a corrupt cell is moved into a
+//!   `quarantine/` sidecar and transparently recomputed; writes are
+//!   atomic (temp file + fsync + rename); `td-serve verify` and
+//!   `td-serve compact` are the offline maintenance pair.
+//! * **Graceful drain**: SIGINT/SIGTERM (or an in-band `shutdown`
+//!   request) stops admission, finishes in-flight cells, answers every
+//!   queued client, persists the unstarted queue to `pending.tdq`
+//!   (checked-line format shared with the results journal), and exits
+//!   130 (signal) or 0 (`shutdown`). A restarted daemon replays
+//!   `pending.tdq` into the store, so the work still happens.
+//!
+//! Responses for the same `(config_hash, seed)` are **byte-identical**
+//! whether served from cache or recomputed — the response deliberately
+//! carries no cache/wall-clock fields; cache behavior is observable
+//! only through the `stats` counters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod proto;
+#[cfg(unix)]
+pub mod server;
+pub mod store;
